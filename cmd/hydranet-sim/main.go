@@ -1,0 +1,152 @@
+// Command hydranet-sim runs a scripted HydraNet-FT scenario and narrates
+// it: a client talks to a replicated echo service through a redirector,
+// optionally the primary (or a backup) is crashed mid-stream, and the tool
+// reports the timeline — registration, chain construction, suspicion,
+// reconfiguration, promotion — plus final per-component statistics.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"hydranet"
+	"hydranet/internal/app"
+	"hydranet/internal/core"
+	"hydranet/internal/trace"
+)
+
+func main() {
+	replicas := flag.Int("replicas", 3, "total replicas (1 primary + N-1 backups)")
+	bytes := flag.Int("bytes", 256*1024, "bytes the client streams through the echo service")
+	crashAt := flag.Duration("crash-at", 400*time.Millisecond, "when to crash a replica (0 = never)")
+	crashWho := flag.String("crash", "primary", "which replica to crash: primary, backup, none")
+	threshold := flag.Int("threshold", 3, "failure detector retransmission threshold")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	verbose := flag.Bool("v", false, "log every management reconfiguration")
+	traceSegs := flag.Int("trace", 0, "emit up to N tcpdump-style segment trace lines")
+	flag.Parse()
+
+	if *replicas < 1 {
+		fmt.Fprintln(os.Stderr, "hydranet-sim: need at least one replica")
+		os.Exit(1)
+	}
+
+	net := hydranet.New(hydranet.Config{Seed: *seed})
+	client := net.AddHost("client", hydranet.HostConfig{})
+	rd := net.AddRedirector("rd", hydranet.HostConfig{})
+	var hosts []*hydranet.Host
+	for i := 0; i < *replicas; i++ {
+		hosts = append(hosts, net.AddHost(fmt.Sprintf("s%d", i), hydranet.HostConfig{}))
+	}
+	link := hydranet.LinkConfig{Rate: 10_000_000, Delay: time.Millisecond}
+	net.Link(client, rd.Host, link)
+	for _, h := range hosts {
+		net.Link(h, rd.Host, link)
+	}
+	net.AutoRoute()
+
+	if *traceSegs > 0 {
+		tr := trace.New(os.Stdout, net.Scheduler())
+		tr.SetLimit(uint64(*traceSegs))
+		tr.AttachTCP("client", client.TCP())
+		for _, h := range hosts {
+			tr.AttachTCP(h.Name(), h.TCP())
+		}
+	}
+
+	logf := func(format string, args ...any) {
+		fmt.Printf("%10s  %s\n", net.Now().Round(time.Microsecond), fmt.Sprintf(format, args...))
+	}
+
+	svc := hydranet.ServiceID{Addr: hydranet.MustAddr("192.20.225.20"), Port: 80}
+	opts := hydranet.FTOptions{Detector: hydranet.DetectorParams{RetransmitThreshold: *threshold}}
+	ftsvc, err := net.DeployFT(svc, rd, hosts, opts, func(c *hydranet.Conn) { app.Echo(c) })
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hydranet-sim: %v\n", err)
+		os.Exit(1)
+	}
+	rd.Daemon().OnReconfig(func(s core.ServiceID, failed []hydranet.Addr) {
+		logf("redirector reconfigured %s: removed %v, chain now %v", s, failed, ftsvc.Chain())
+	})
+	logf("deployed %s across %d replicas", svc, *replicas)
+	net.Settle()
+	logf("chain established: %v (primary first)", ftsvc.Chain())
+
+	conn, err := client.Dial(svc)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hydranet-sim: dial: %v\n", err)
+		os.Exit(1)
+	}
+	received := 0
+	buf := make([]byte, 8192)
+	conn.OnReadable(func() {
+		for {
+			n := conn.Read(buf)
+			if n == 0 {
+				break
+			}
+			received += n
+		}
+	})
+	conn.OnClosed(func(err error) {
+		if err != nil {
+			logf("CLIENT CONNECTION FAILED: %v", err)
+		}
+	})
+	payload := make([]byte, *bytes)
+	app.Source(conn, payload, false)
+	logf("client streaming %d bytes through the fault-tolerant connection", *bytes)
+
+	if *crashAt > 0 && *crashWho != "none" {
+		net.RunFor(*crashAt)
+		switch *crashWho {
+		case "primary":
+			dead := ftsvc.CrashPrimary()
+			logf("CRASH: primary %s fail-stopped", dead.Name())
+		case "backup":
+			reps := ftsvc.Replicas()
+			if len(reps) > 1 {
+				reps[len(reps)-1].Host.Crash()
+				logf("CRASH: backup %s fail-stopped", reps[len(reps)-1].Host.Name())
+			}
+		default:
+			fmt.Fprintf(os.Stderr, "hydranet-sim: unknown -crash %q\n", *crashWho)
+			os.Exit(1)
+		}
+	}
+
+	// Run until the stream completes or a generous deadline passes.
+	deadline := net.Now() + 5*time.Minute
+	for received < *bytes && net.Now() < deadline {
+		net.RunFor(time.Second)
+	}
+	logf("client received %d of %d bytes (%.1f%%)",
+		received, *bytes, 100*float64(received)/float64(*bytes))
+	logf("final chain: %v", ftsvc.Chain())
+
+	fmt.Println("\ncomponent statistics:")
+	rs := rd.Table().Stats()
+	fmt.Printf("  redirector: %d FT matches, %d tunnel copies, %d passed through\n",
+		rs.Multicast, rs.MulticastCopies, rs.PassedThrough)
+	ds := rd.Daemon().Stats()
+	fmt.Printf("  management: %d registrations, %d suspicions, %d probes, %d hosts failed\n",
+		ds.Registrations, ds.Suspicions, ds.ProbesSent, ds.HostsFailed)
+	for _, r := range ftsvc.Replicas() {
+		ms := r.Host.FTManager().Stats()
+		status := "alive"
+		if !r.Host.Alive() {
+			status = "CRASHED"
+		}
+		fmt.Printf("  %s (%s, %s): chain msgs %d sent / %d received, %d suspicions, %d promotions\n",
+			r.Host.Name(), r.Port.Mode(), status,
+			ms.ChainMsgsSent, ms.ChainMsgsReceived, ms.Suspicions, ms.Promotions)
+	}
+	if *verbose {
+		fmt.Printf("\nvirtual time elapsed: %v\n", net.Now())
+	}
+	if received < *bytes {
+		os.Exit(1)
+	}
+}

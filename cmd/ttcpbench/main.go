@@ -1,0 +1,61 @@
+// Command ttcpbench regenerates the paper's Figure 4: ttcp throughput
+// against write size for the four testbed configurations (clean kernel, no
+// redirection, primary only, primary and backup). With -repeat > 1 each
+// point is averaged over several seeds and reported as mean ± std.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"hydranet/internal/metrics"
+	"hydranet/internal/testbed"
+)
+
+func main() {
+	total := flag.Int("bytes", 512*1024, "bytes transferred per measurement point")
+	seed := flag.Int64("seed", 1, "base simulation seed")
+	backups := flag.Int("backups", 1, "backup replicas in the primary-and-backup case")
+	repeat := flag.Int("repeat", 1, "seeds per point (mean ± std when > 1)")
+	flag.Parse()
+
+	fmt.Printf("ttcp throughput measurements for HydraNet-FT (Figure 4)\n")
+	fmt.Printf("transfer volume %d bytes per point, %d run(s) per point, base seed %d\n\n",
+		*total, *repeat, *seed)
+
+	header := []string{"packet size [B]"}
+	for _, c := range testbed.Figure4Cases {
+		header = append(header, c.String())
+	}
+	table := metrics.NewTable(header...)
+	for _, size := range testbed.Figure4Sizes {
+		row := []string{fmt.Sprintf("%d", size)}
+		for _, c := range testbed.Figure4Cases {
+			var sum metrics.Summary
+			failed := false
+			for r := 0; r < *repeat; r++ {
+				res := testbed.Run(testbed.Config{
+					Case: c, BufLen: size, TotalBytes: *total,
+					Seed: *seed + int64(r), Backups: *backups,
+				})
+				if res.Err != nil {
+					failed = true
+					break
+				}
+				sum.Add(res.ThroughputKBps())
+			}
+			if failed {
+				row = append(row, "ERR")
+				continue
+			}
+			if *repeat > 1 {
+				row = append(row, sum.String())
+			} else {
+				row = append(row, fmt.Sprintf("%.0f", sum.Mean()))
+			}
+		}
+		table.AddRow(row...)
+	}
+	fmt.Print(table)
+	fmt.Println("\nthroughput in kBytes/sec; rows correspond to the paper's x-axis")
+}

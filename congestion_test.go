@@ -1,0 +1,106 @@
+package hydranet
+
+import (
+	"testing"
+	"time"
+
+	"hydranet/internal/app"
+	"hydranet/internal/rmp"
+)
+
+// TestCongestedBackupEvictedAndRecommissioned exercises the paper's
+// congestion story end to end: a backup whose acknowledgment channel is
+// effectively dead (severe congestion) stalls the whole chain; with the
+// congestion policy enabled the redirector "shuts it down" (evicts it), the
+// flow recovers, and once the congestion clears the server rejoins.
+func TestCongestedBackupEvictedAndRecommissioned(t *testing.T) {
+	net, client, rd, replicas := ftTopology(t, 61, 2)
+	svc, err := net.DeployFT(testSvc, rd, replicas,
+		FTOptions{Detector: DetectorParams{RetransmitThreshold: 2}}, echoAccept())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd.Daemon().SetCongestionPolicy(rmp.CongestionPolicy{Strikes: 3, Window: 2 * time.Minute})
+	net.Settle()
+
+	conn, _ := client.Dial(testSvc)
+	echoed := collect(conn)
+	payload := make([]byte, 150_000)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	app.Source(conn, payload, false)
+	net.RunFor(100 * time.Millisecond)
+
+	// Severe congestion at the backup: its chain messages all vanish, so
+	// the primary can never acknowledge.
+	replicas[1].FTManager().SetChainLoss(1.0)
+	net.RunFor(3 * time.Minute)
+
+	if got := len(*echoed); got != len(payload) {
+		t.Fatalf("transfer stalled at %d of %d despite congestion eviction", got, len(payload))
+	}
+	chain := svc.Chain()
+	if len(chain) != 1 || chain[0] != replicas[0].Addr() {
+		t.Fatalf("chain = %v, want the congested backup evicted", chain)
+	}
+	if rd.Daemon().Stats().CongestionEvictions == 0 {
+		t.Fatal("eviction not recorded as congestion-based")
+	}
+	if !replicas[1].Alive() {
+		t.Fatal("test invariant: the evicted backup is alive, just congested")
+	}
+
+	// Congestion clears; the server rejoins for new connections.
+	replicas[1].FTManager().SetChainLoss(0)
+	if err := svc.Recommission(replicas[1]); err != nil {
+		t.Fatal(err)
+	}
+	net.Settle()
+	if got := svc.Chain(); len(got) != 2 {
+		t.Fatalf("chain after recommission = %v", got)
+	}
+	conn2, _ := client.Dial(testSvc)
+	echoed2 := collect(conn2)
+	app.Source(conn2, []byte("back in business"), false)
+	net.RunFor(10 * time.Second)
+	if string(*echoed2) != "back in business" {
+		t.Fatalf("echo after rejoin = %q", *echoed2)
+	}
+	// The rejoined backup replicates the new connection (it may also still
+	// track a stale entry for the pre-eviction connection, which it can no
+	// longer observe — the host never crashed, so that state lingers until
+	// the old connection's client endpoint is reused or the host reboots).
+	newConnSeen := false
+	for _, c := range replicas[1].TCP().Conns() {
+		if c.Remote() == conn2.Local() {
+			newConnSeen = true
+		}
+	}
+	if !newConnSeen {
+		t.Fatal("rejoined backup is not replicating the new connection")
+	}
+}
+
+// TestCongestionPolicyDisabledByDefault: without the policy, live hosts are
+// never evicted no matter how many suspicions fire.
+func TestCongestionPolicyDisabledByDefault(t *testing.T) {
+	net, client, rd, replicas := ftTopology(t, 62, 2)
+	svc, err := net.DeployFT(testSvc, rd, replicas,
+		FTOptions{Detector: DetectorParams{RetransmitThreshold: 2}}, echoAccept())
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.Settle()
+	conn, _ := client.Dial(testSvc)
+	app.Source(conn, make([]byte, 100_000), false)
+	net.RunFor(100 * time.Millisecond)
+	replicas[1].FTManager().SetChainLoss(1.0)
+	net.RunFor(2 * time.Minute)
+	if got := len(svc.Chain()); got != 2 {
+		t.Fatalf("chain = %d members; default policy must never evict live hosts", got)
+	}
+	if rd.Daemon().Stats().Suspicions == 0 {
+		t.Fatal("scenario inert: no suspicions despite a dead ack channel")
+	}
+}

@@ -1,0 +1,76 @@
+package hydranet_test
+
+import (
+	"fmt"
+	"time"
+
+	"hydranet"
+	"hydranet/internal/app"
+)
+
+// Example_failover deploys a fault-tolerant echo service, kills the primary
+// mid-conversation, and shows the client's connection surviving. Because
+// the simulator is deterministic, this output is stable.
+func Example_failover() {
+	net := hydranet.New(hydranet.Config{Seed: 1})
+	client := net.AddHost("client", hydranet.HostConfig{})
+	rd := net.AddRedirector("rd", hydranet.HostConfig{})
+	s0 := net.AddHost("s0", hydranet.HostConfig{})
+	s1 := net.AddHost("s1", hydranet.HostConfig{})
+	link := hydranet.LinkConfig{Rate: 10_000_000, Delay: time.Millisecond}
+	for _, h := range []*hydranet.Host{client, s0, s1} {
+		net.Link(h, rd.Host, link)
+	}
+	net.AutoRoute()
+
+	svc := hydranet.ServiceID{Addr: hydranet.MustAddr("192.20.225.20"), Port: 7}
+	ftsvc, err := net.DeployFT(svc, rd, []*hydranet.Host{s0, s1},
+		hydranet.FTOptions{}, func(c *hydranet.Conn) { app.Echo(c) })
+	if err != nil {
+		fmt.Println("deploy:", err)
+		return
+	}
+	net.Settle()
+
+	conn, err := client.Dial(svc)
+	if err != nil {
+		fmt.Println("dial:", err)
+		return
+	}
+	var echoed []byte
+	app.Collect(conn, &echoed)
+	conn.OnConnected(func() { conn.Write([]byte("before ")) })
+	net.RunFor(2 * time.Second)
+
+	dead := ftsvc.CrashPrimary()
+	conn.Write([]byte("and after the crash"))
+	net.RunFor(time.Minute)
+
+	fmt.Printf("crashed: %s\n", dead.Name())
+	fmt.Printf("echoed:  %q\n", echoed)
+	fmt.Printf("state:   %v\n", conn.State())
+	// Output:
+	// crashed: s0
+	// echoed:  "before and after the crash"
+	// state:   ESTABLISHED
+}
+
+// Example_ping demonstrates the ICMP layer: ping and traceroute across two
+// routers.
+func Example_ping() {
+	net := hydranet.New(hydranet.Config{Seed: 2})
+	client := net.AddHost("client", hydranet.HostConfig{})
+	r1 := net.AddRouter("r1", hydranet.HostConfig{})
+	server := net.AddHost("server", hydranet.HostConfig{})
+	link := hydranet.LinkConfig{Rate: 10_000_000, Delay: 5 * time.Millisecond}
+	net.Link(client, r1, link)
+	net.Link(r1, server, link)
+	net.AutoRoute()
+
+	client.Traceroute(server.Addr(), 4, func(hops []hydranet.Addr) {
+		fmt.Printf("%d hops, last %s\n", len(hops), hops[len(hops)-1])
+	})
+	net.RunFor(10 * time.Second)
+	// Output:
+	// 2 hops, last 10.2.0.2
+}

@@ -1,0 +1,169 @@
+// Brokerage models the paper's other motivating class of services:
+// transaction-based applications with per-session server state ("service
+// interruptions for an on-line brokerage firm may have very serious
+// effects" — and "plain service request redirection is not sufficient"
+// because the server holds state).
+//
+// Every replica runs the same deterministic order-matching logic, so each
+// backup's session state (cash, positions) is kept hot by the very same
+// client byte stream the primary processes. When the primary crashes
+// between two orders, the promoted backup continues the session with the
+// state intact: the confirmations after the crash still reflect the trades
+// made before it.
+//
+// Run with: go run ./examples/brokerage
+package main
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"hydranet"
+	"hydranet/internal/app"
+)
+
+// account is per-connection session state, replicated implicitly by
+// deterministic replay of the order stream.
+type account struct {
+	cash      int
+	positions map[string]int
+}
+
+// price is a deterministic "market": each symbol has a fixed quote, so all
+// replicas fill orders identically.
+func price(symbol string) int {
+	p := 10
+	for _, r := range symbol {
+		p += int(r) % 7
+	}
+	return p
+}
+
+// brokerHandler implements a line-based order protocol:
+//
+//	BUY <qty> <symbol>  |  SELL <qty> <symbol>  |  BALANCE
+//
+// Each order is confirmed with the fill and the running account state.
+func brokerHandler(c *hydranet.Conn) {
+	acct := &account{cash: 10_000, positions: map[string]int{}}
+	var inbuf []byte
+	var out []byte
+	buf := make([]byte, 2048)
+	flush := func() {
+		for len(out) > 0 {
+			n := c.Write(out)
+			if n == 0 {
+				return
+			}
+			out = out[n:]
+		}
+	}
+	reply := func(format string, args ...any) {
+		out = append(out, fmt.Sprintf(format+"\n", args...)...)
+	}
+	execute := func(line string) {
+		f := strings.Fields(line)
+		switch {
+		case len(f) == 3 && (f[0] == "BUY" || f[0] == "SELL"):
+			qty := 0
+			fmt.Sscanf(f[1], "%d", &qty)
+			sym := f[2]
+			cost := qty * price(sym)
+			if f[0] == "SELL" {
+				qty, cost = -qty, -cost
+			}
+			if acct.cash-cost < 0 || acct.positions[sym]+qty < 0 {
+				reply("REJECTED %s (insufficient funds or shares)", line)
+				return
+			}
+			acct.cash -= cost
+			acct.positions[sym] += qty
+			reply("FILLED %s @ %d | cash=%d %s=%d",
+				line, price(sym), acct.cash, sym, acct.positions[sym])
+		case len(f) == 1 && f[0] == "BALANCE":
+			reply("BALANCE cash=%d positions=%v", acct.cash, acct.positions)
+		default:
+			reply("ERROR unparseable order %q", line)
+		}
+	}
+	c.OnReadable(func() {
+		for {
+			n := c.Read(buf)
+			if n == 0 {
+				break
+			}
+			inbuf = append(inbuf, buf[:n]...)
+		}
+		for {
+			i := strings.IndexByte(string(inbuf), '\n')
+			if i < 0 {
+				break
+			}
+			line := strings.TrimSpace(string(inbuf[:i]))
+			inbuf = inbuf[i+1:]
+			if line != "" {
+				execute(line)
+			}
+		}
+		flush()
+		if c.PeerClosed() {
+			c.Close()
+		}
+	})
+	c.OnWritable(flush)
+}
+
+func main() {
+	net := hydranet.New(hydranet.Config{Seed: 4})
+	trader := net.AddHost("trader", hydranet.HostConfig{})
+	rd := net.AddRedirector("rd", hydranet.HostConfig{})
+	s0 := net.AddHost("s0", hydranet.HostConfig{})
+	s1 := net.AddHost("s1", hydranet.HostConfig{})
+	s2 := net.AddHost("s2", hydranet.HostConfig{})
+	link := hydranet.LinkConfig{Rate: 10_000_000, Delay: 2 * time.Millisecond}
+	for _, h := range []*hydranet.Host{trader, s0, s1, s2} {
+		net.Link(h, rd.Host, link)
+	}
+	net.AutoRoute()
+
+	svc := hydranet.ServiceID{Addr: hydranet.MustAddr("192.20.225.20"), Port: 7777}
+	ftsvc, err := net.DeployFT(svc, rd, []*hydranet.Host{s0, s1, s2},
+		hydranet.FTOptions{Detector: hydranet.DetectorParams{RetransmitThreshold: 2}},
+		brokerHandler)
+	if err != nil {
+		panic(err)
+	}
+	net.Settle()
+	fmt.Printf("brokerage live at %s with 3 replicas: %v\n\n", svc, ftsvc.Chain())
+
+	conn, err := trader.Dial(svc)
+	if err != nil {
+		panic(err)
+	}
+	var transcript []byte
+	app.Collect(conn, &transcript)
+	send := func(order string) {
+		conn.Write([]byte(order + "\n"))
+		fmt.Printf(">> %s\n", order)
+	}
+
+	conn.OnConnected(func() {
+		send("BUY 100 ACME")
+		send("BUY 50 INITECH")
+	})
+	net.RunFor(2 * time.Second)
+
+	dead := ftsvc.CrashPrimary()
+	fmt.Printf("\n*** primary %s crashed; the session's state lives on the backups ***\n\n", dead.Name())
+
+	send("SELL 30 ACME")
+	send("BALANCE")
+	net.RunFor(60 * time.Second)
+
+	fmt.Println("server transcript (uninterrupted session):")
+	for _, line := range strings.Split(strings.TrimSpace(string(transcript)), "\n") {
+		fmt.Printf("<< %s\n", line)
+	}
+	fmt.Printf("\nconnection: %v, surviving chain: %v\n", conn.State(), ftsvc.Chain())
+}

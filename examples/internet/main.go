@@ -1,0 +1,171 @@
+// Internet reproduces the paper's Figure 1 in full: an internetwork with
+// two ISPs, both kinds of HydraNet replication side by side, and the
+// network diagnostics to see the topology.
+//
+//   - southwest.net and northeast.net each route their clients through
+//     their own redirector; the redirectors mirror each other's tables.
+//   - www.northwest.com (port 80) is the origin host's web service,
+//     replicated for SCALING onto a host server inside northeast.net, so
+//     northeastern clients are served locally (the paper's hot-spot
+//     diffusion).
+//   - audio.south.com (port 554, dark triangle in the figure) is a
+//     FAULT-TOLERANT service replicated on two hosts; mid-broadcast its
+//     primary dies and both ISPs' listeners keep their streams.
+//
+// Run with: go run ./examples/internet
+package main
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"hydranet"
+	"hydranet/internal/app"
+)
+
+func main() {
+	net := hydranet.New(hydranet.Config{Seed: 7})
+
+	// Backbone: two ISP redirectors joined by a WAN link.
+	rdSW := net.AddRedirector("rd-southwest", hydranet.HostConfig{})
+	rdNE := net.AddRedirector("rd-northeast", hydranet.HostConfig{})
+	wan := hydranet.LinkConfig{Rate: 45_000_000, Delay: 30 * time.Millisecond} // a T3
+	lan := hydranet.LinkConfig{Rate: 10_000_000, Delay: time.Millisecond}
+	net.Link(rdSW.Host, rdNE.Host, wan)
+
+	// southwest.net: a client plus the audio service's primary host.
+	clientSW := net.AddHost("client-sw", hydranet.HostConfig{})
+	audio0 := net.AddHost("audio-s0", hydranet.HostConfig{})
+	net.Link(clientSW, rdSW.Host, lan)
+	net.Link(audio0, rdSW.Host, lan)
+
+	// northeast.net: a client, a host server, and the audio backup.
+	clientNE := net.AddHost("client-ne", hydranet.HostConfig{})
+	hostServer := net.AddHost("hostserver-ne", hydranet.HostConfig{})
+	audio1 := net.AddHost("audio-s1", hydranet.HostConfig{})
+	net.Link(clientNE, rdNE.Host, lan)
+	net.Link(hostServer, rdNE.Host, lan)
+	net.Link(audio1, rdNE.Host, lan)
+
+	// northwest.com: the web origin host, off the southwest ISP.
+	origin := net.AddHost("www-origin", hydranet.HostConfig{})
+	net.LinkAddr(origin, rdSW.Host, wan,
+		hydranet.MustAddr("192.20.225.20"), hydranet.MustAddr("192.20.225.1"))
+	net.AutoRoute()
+
+	// The two redirectors share fault-tolerant table entries.
+	rdSW.Mirror(rdNE)
+	rdNE.Mirror(rdSW)
+
+	// --- www.northwest.com: scaling replication --------------------------
+	webAddr := hydranet.MustAddr("192.20.225.20")
+	webSvc := hydranet.ServiceID{Addr: webAddr, Port: 80}
+	serve := func(tag string) func(*hydranet.Conn) {
+		return func(c *hydranet.Conn) {
+			c.OnReadable(func() {
+				buf := make([]byte, 256)
+				if n := c.Read(buf); n > 0 {
+					app.Source(c, []byte("200 OK from "+tag), true)
+				}
+			})
+		}
+	}
+	httpd, err := origin.Listen(webAddr, 80)
+	if err != nil {
+		panic(err)
+	}
+	httpd.SetAcceptFunc(serve("the origin host"))
+	// Replica installed near the northeastern clients, registered with
+	// THEIR redirector.
+	if err := net.DeployScale(webSvc, rdNE, []hydranet.ScaleTarget{
+		{Host: hostServer, Metric: 1},
+	}, serve("the northeast host server")); err != nil {
+		panic(err)
+	}
+
+	// --- audio.south.com: fault-tolerant replication ---------------------
+	audioSvc := hydranet.ServiceID{Addr: hydranet.MustAddr("199.77.0.5"), Port: 554}
+	const frames = 120
+	broadcaster := func(c *hydranet.Conn) {
+		var pending []byte
+		next := 0
+		flush := func() {
+			for len(pending) > 0 {
+				n := c.Write(pending)
+				if n == 0 {
+					return
+				}
+				pending = pending[n:]
+			}
+		}
+		var tick func()
+		tick = func() {
+			if next < frames {
+				pending = append(pending, []byte(fmt.Sprintf("frame-%03d;", next))...)
+				next++
+				net.Scheduler().After(50*time.Millisecond, tick)
+			}
+			flush()
+		}
+		c.OnWritable(flush)
+		tick()
+	}
+	audio, err := net.DeployFT(audioSvc, rdSW, []*hydranet.Host{audio0, audio1},
+		hydranet.FTOptions{Detector: hydranet.DetectorParams{RetransmitThreshold: 2}},
+		broadcaster)
+	if err != nil {
+		panic(err)
+	}
+	net.Settle()
+
+	// --- Drive it ---------------------------------------------------------
+	fetch := func(who *hydranet.Host) string {
+		conn, err := who.Dial(webSvc)
+		if err != nil {
+			return err.Error()
+		}
+		var resp []byte
+		app.Collect(conn, &resp)
+		app.Source(conn, []byte("GET /\n"), false)
+		net.RunFor(3 * time.Second)
+		return string(resp)
+	}
+	fmt.Println("-- web requests (scaling replication) --")
+	fmt.Printf("southwest client: %s\n", fetch(clientSW))
+	fmt.Printf("northeast client: %s\n", fetch(clientNE))
+
+	fmt.Println("\n-- audio broadcast (fault-tolerant replication) --")
+	var swStream, neStream []byte
+	connSW, _ := clientSW.Dial(audioSvc)
+	connNE, _ := clientNE.Dial(audioSvc)
+	app.Collect(connSW, &swStream)
+	app.Collect(connNE, &neStream)
+	net.RunFor(2 * time.Second)
+	dead := audio.CrashPrimary()
+	fmt.Printf("t=%v: audio primary %s crashed mid-broadcast\n", net.Now(), dead.Name())
+	net.RunFor(60 * time.Second)
+
+	check := func(name string, stream []byte) {
+		got := strings.Count(string(stream), ";")
+		ok := "COMPLETE AND GAPLESS"
+		for i := 0; i < got; i++ {
+			if !strings.Contains(string(stream), fmt.Sprintf("frame-%03d;", i)) {
+				ok = "DAMAGED"
+			}
+		}
+		fmt.Printf("%s received %d/%d frames — %s\n", name, got, frames, ok)
+	}
+	check("southwest listener", swStream)
+	check("northeast listener", neStream)
+	fmt.Printf("surviving audio chain: %v\n", audio.Chain())
+
+	// --- Diagnostics -------------------------------------------------------
+	fmt.Println("\n-- traceroute client-sw → www origin --")
+	clientSW.Traceroute(hydranet.MustAddr("192.20.225.20"), 6, func(hops []hydranet.Addr) {
+		for i, h := range hops {
+			fmt.Printf("  %d  %s\n", i+1, h)
+		}
+	})
+	net.RunFor(20 * time.Second)
+}

@@ -1,0 +1,174 @@
+// Mediastream models the paper's motivating scenario: a live broadcast
+// ("the video service serving potentially many thousands of clients with
+// live action must guarantee uninterrupted broadcast").
+//
+// A frame source runs on every replica of a fault-tolerant streaming
+// service; several clients subscribe over ordinary TCP connections. Halfway
+// through the broadcast the primary server is killed. Because the backups
+// produced the identical byte stream in lockstep (held back by the
+// acknowledgment channel), the promoted backup resumes every viewer's
+// stream exactly where it stopped — no viewer reconnects, no frame is lost
+// or duplicated.
+//
+// Run with: go run ./examples/mediastream
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"hydranet"
+)
+
+const (
+	frameSize     = 1316 // a handful of MPEG-TS cells, the classic unit
+	frameInterval = 40 * time.Millisecond
+	broadcastLen  = 250 // frames (10 seconds of "video")
+	viewers       = 4
+)
+
+// frame builds deterministic frame content so replicas generate identical
+// streams and viewers can verify continuity.
+func frame(i int) []byte {
+	b := make([]byte, frameSize)
+	b[0] = byte(i >> 8)
+	b[1] = byte(i)
+	for j := 2; j < frameSize; j++ {
+		b[j] = byte(i * j)
+	}
+	return b
+}
+
+// broadcaster runs on every replica: it feeds the frame schedule into each
+// viewer connection, buffering when the window is closed so no replica ever
+// diverges from the common stream.
+func broadcaster(net *hydranet.Net) func(*hydranet.Conn) {
+	return func(c *hydranet.Conn) {
+		var pending []byte
+		next := 0
+		flush := func() {
+			for len(pending) > 0 {
+				n := c.Write(pending)
+				if n == 0 {
+					return
+				}
+				pending = pending[n:]
+			}
+			if next >= broadcastLen && len(pending) == 0 {
+				c.Close()
+			}
+		}
+		var tick func()
+		tick = func() {
+			if next < broadcastLen {
+				pending = append(pending, frame(next)...)
+				next++
+				net.Scheduler().After(frameInterval, tick)
+			}
+			flush()
+		}
+		c.OnWritable(flush)
+		tick()
+	}
+}
+
+type viewer struct {
+	name      string
+	received  []byte
+	badFrames int
+	gaps      int
+}
+
+func (v *viewer) verify() {
+	frames := len(v.received) / frameSize
+	expect := 0
+	for i := 0; i < frames; i++ {
+		f := v.received[i*frameSize : (i+1)*frameSize]
+		idx := int(f[0])<<8 | int(f[1])
+		if idx != expect {
+			v.gaps++
+			expect = idx
+		}
+		want := frame(idx)
+		for j := range f {
+			if f[j] != want[j] {
+				v.badFrames++
+				break
+			}
+		}
+		expect++
+	}
+}
+
+func main() {
+	net := hydranet.New(hydranet.Config{Seed: 3})
+	rd := net.AddRedirector("rd", hydranet.HostConfig{})
+	s0 := net.AddHost("s0", hydranet.HostConfig{})
+	s1 := net.AddHost("s1", hydranet.HostConfig{})
+	link := hydranet.LinkConfig{Rate: 10_000_000, Delay: 2 * time.Millisecond}
+	net.Link(s0, rd.Host, link)
+	net.Link(s1, rd.Host, link)
+	var clients []*hydranet.Host
+	for i := 0; i < viewers; i++ {
+		h := net.AddHost(fmt.Sprintf("viewer%d", i), hydranet.HostConfig{})
+		clients = append(clients, h)
+		net.Link(h, rd.Host, link)
+	}
+	net.AutoRoute()
+
+	svc := hydranet.ServiceID{Addr: hydranet.MustAddr("192.20.225.20"), Port: 554}
+	ftsvc, err := net.DeployFT(svc, rd, []*hydranet.Host{s0, s1},
+		hydranet.FTOptions{Detector: hydranet.DetectorParams{RetransmitThreshold: 2}},
+		broadcaster(net))
+	if err != nil {
+		panic(err)
+	}
+	net.Settle()
+	fmt.Printf("broadcast service live at %s, chain %v\n", svc, ftsvc.Chain())
+
+	var vs []*viewer
+	for i, h := range clients {
+		v := &viewer{name: h.Name()}
+		vs = append(vs, v)
+		conn, err := h.Dial(svc)
+		if err != nil {
+			panic(err)
+		}
+		buf := make([]byte, 8192)
+		conn.OnReadable(func() {
+			for {
+				n := conn.Read(buf)
+				if n == 0 {
+					break
+				}
+				v.received = append(v.received, buf[:n]...)
+			}
+		})
+		_ = i
+	}
+
+	// Let the broadcast run, then kill the primary mid-stream.
+	net.RunFor(4 * time.Second)
+	dead := ftsvc.CrashPrimary()
+	fmt.Printf("t=%v: primary %s died mid-broadcast (viewers have ~%d frames)\n",
+		net.Now(), dead.Name(), len(vs[0].received)/frameSize)
+
+	net.RunFor(90 * time.Second)
+
+	total := broadcastLen * frameSize
+	fmt.Printf("\nafter fail-over (chain %v):\n", ftsvc.Chain())
+	ok := true
+	for _, v := range vs {
+		v.verify()
+		fmt.Printf("  %s: %6d/%6d bytes, %d corrupt frames, %d gaps\n",
+			v.name, len(v.received), total, v.badFrames, v.gaps)
+		if len(v.received) != total || v.badFrames != 0 || v.gaps != 0 {
+			ok = false
+		}
+	}
+	if ok {
+		fmt.Println("\nevery viewer received the complete, gapless broadcast across the crash")
+	} else {
+		fmt.Println("\nBROADCAST DAMAGED — this should not happen")
+	}
+}

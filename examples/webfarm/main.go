@@ -1,0 +1,118 @@
+// Webfarm reproduces the paper's Figure 2 scenario: HydraNet service
+// scaling by global IP-address replication.
+//
+// The origin host 192.20.225.20 runs a web service (port 80) and a telnet
+// service (port 23). The web service is replicated onto a host server near
+// a remote client population; the redirector's table maps 192.20.225.20:80
+// to the nearest replica, while traffic for port 23 — which has no table
+// entry — passes through to the origin host untouched. Neither the clients
+// nor the origin host's telnet service are aware of the replication.
+//
+// Run with: go run ./examples/webfarm
+package main
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"hydranet"
+	"hydranet/internal/app"
+)
+
+// miniHTTP answers one request line with a tagged response, so we can see
+// which machine served it.
+func miniHTTP(tag string) func(*hydranet.Conn) {
+	return func(c *hydranet.Conn) {
+		var req []byte
+		buf := make([]byte, 1024)
+		c.OnReadable(func() {
+			for {
+				n := c.Read(buf)
+				if n == 0 {
+					break
+				}
+				req = append(req, buf[:n]...)
+			}
+			if i := strings.IndexByte(string(req), '\n'); i >= 0 {
+				line := strings.TrimSpace(string(req[:i]))
+				body := fmt.Sprintf("<html>%s served by %s</html>", line, tag)
+				resp := fmt.Sprintf("HTTP/1.0 200 OK\r\nContent-Length: %d\r\n\r\n%s",
+					len(body), body)
+				app.Source(c, []byte(resp), true)
+			}
+		})
+	}
+}
+
+func fetch(net *hydranet.Net, from *hydranet.Host, ep hydranet.Endpoint, reqLine string) string {
+	conn, err := from.DialEndpoint(ep)
+	if err != nil {
+		panic(err)
+	}
+	var resp []byte
+	app.Collect(conn, &resp)
+	app.Source(conn, []byte(reqLine+"\n"), false)
+	net.RunFor(5 * time.Second)
+	return string(resp)
+}
+
+func main() {
+	net := hydranet.New(hydranet.Config{Seed: 2})
+
+	// Topology, following Figure 2: a client population behind a
+	// redirector; the origin host far away; a host server near the
+	// clients.
+	clientA := net.AddHost("clientA", hydranet.HostConfig{})
+	clientB := net.AddHost("clientB", hydranet.HostConfig{})
+	rd := net.AddRedirector("rd", hydranet.HostConfig{})
+	hostServer := net.AddHost("hostserver", hydranet.HostConfig{})
+	origin := net.AddHost("origin", hydranet.HostConfig{})
+
+	near := hydranet.LinkConfig{Rate: 10_000_000, Delay: time.Millisecond}
+	far := hydranet.LinkConfig{Rate: 1_500_000, Delay: 40 * time.Millisecond} // a WAN hop
+	net.Link(clientA, rd.Host, near)
+	net.Link(clientB, rd.Host, near)
+	net.Link(hostServer, rd.Host, near)
+	net.LinkAddr(origin, rd.Host, far,
+		hydranet.MustAddr("192.20.225.20"), hydranet.MustAddr("192.20.225.1"))
+	net.AutoRoute()
+
+	originAddr := hydranet.MustAddr("192.20.225.20")
+	webSvc := hydranet.ServiceID{Addr: originAddr, Port: 80}
+
+	// The origin host runs httpd and telnetd under its real address.
+	httpd, err := origin.Listen(originAddr, 80)
+	if err != nil {
+		panic(err)
+	}
+	httpd.SetAcceptFunc(miniHTTP("origin httpd"))
+	telnetd, err := origin.Listen(originAddr, 23)
+	if err != nil {
+		panic(err)
+	}
+	telnetd.SetAcceptFunc(miniHTTP("origin telnetd"))
+
+	// Replicate the web service onto the nearby host server (a_httpd in
+	// the paper's figure): metric 1 vs the origin's 10.
+	if err := net.DeployScale(webSvc, rd, []hydranet.ScaleTarget{
+		{Host: hostServer, Metric: 1},
+	}, miniHTTP("a_httpd replica")); err != nil {
+		panic(err)
+	}
+	net.Settle()
+
+	fmt.Println("-- client A fetches http://192.20.225.20/ (port 80, redirected) --")
+	fmt.Println(fetch(net, clientA, hydranet.Endpoint{Addr: originAddr, Port: 80}, "GET /index.html"))
+
+	fmt.Println("\n-- client B telnets to 192.20.225.20 (port 23, NOT redirected) --")
+	fmt.Println(fetch(net, clientB, hydranet.Endpoint{Addr: originAddr, Port: 23}, "login guest"))
+
+	st := rd.Table().Stats()
+	fmt.Printf("\nredirector: %d packets tunneled to the replica, %d passed through to the origin\n",
+		st.Redirected, st.PassedThrough)
+	osent, _ := func() (uint64, uint64) { s := origin.TCP().Stats(); return s.SegsIn, s.SegsOut }()
+	hsent := hostServer.TCP().Stats().SegsIn
+	fmt.Printf("origin host saw %d segments (telnet only); host server saw %d (all web traffic)\n",
+		osent, hsent)
+}

@@ -1,0 +1,3 @@
+module hydranet
+
+go 1.22

@@ -1,0 +1,101 @@
+package hydranet
+
+import (
+	"testing"
+	"time"
+
+	"hydranet/internal/app"
+)
+
+// TestLeaseDetectsIdleCrash: with heartbeats enabled, a dead primary is
+// detected and replaced with NO traffic on the connection at all — closing
+// the gap the paper's traffic-driven estimator leaves for idle services.
+func TestLeaseDetectsIdleCrash(t *testing.T) {
+	net, client, rd, replicas := ftTopology(t, 131, 2)
+	svc, err := net.DeployFT(testSvc, rd, replicas,
+		FTOptions{Heartbeat: 500 * time.Millisecond}, echoAccept())
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.Settle()
+	conn, _ := client.Dial(testSvc)
+	echoed := collect(conn)
+	conn.OnConnected(func() { conn.Write([]byte("before|")) })
+	net.RunFor(2 * time.Second)
+
+	svc.CrashPrimary()
+	// Total silence from the application; the lease must expire anyway.
+	net.RunFor(10 * time.Second)
+	if got := svc.Chain(); len(got) != 1 || got[0] != replicas[1].Addr() {
+		t.Fatalf("idle crash not lease-detected: chain = %v", got)
+	}
+	if rd.Daemon().Stats().LeaseExpirations == 0 {
+		t.Fatal("no lease expiration recorded")
+	}
+	// The promoted backup serves the connection when traffic resumes.
+	conn.Write([]byte("after"))
+	net.RunFor(30 * time.Second)
+	if string(*echoed) != "before|after" {
+		t.Fatalf("echo = %q", *echoed)
+	}
+}
+
+// TestLeaseQuietWhenHealthy: heartbeats flowing → nobody expires, even over
+// a long idle stretch.
+func TestLeaseQuietWhenHealthy(t *testing.T) {
+	net, client, rd, replicas := ftTopology(t, 132, 3)
+	svc, err := net.DeployFT(testSvc, rd, replicas,
+		FTOptions{Heartbeat: 500 * time.Millisecond}, echoAccept())
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.Settle()
+	conn, _ := client.Dial(testSvc)
+	echoed := collect(conn)
+	app.Source(conn, []byte("ping"), false)
+	net.RunFor(5 * time.Minute) // long healthy idle period
+	if got := len(svc.Chain()); got != 3 {
+		t.Fatalf("healthy chain shrank to %d under leases", got)
+	}
+	if rd.Daemon().Stats().LeaseExpirations != 0 {
+		t.Fatal("spurious lease expirations")
+	}
+	if string(*echoed) != "ping" {
+		t.Fatalf("echo = %q", *echoed)
+	}
+}
+
+// TestVoluntaryLeaveViaFacade: FTService.Leave resplices the chain and
+// promotes the successor when the primary departs, without any client
+// disturbance.
+func TestVoluntaryLeaveViaFacade(t *testing.T) {
+	net, client, rd, replicas := ftTopology(t, 133, 3)
+	svc, err := net.DeployFT(testSvc, rd, replicas, FTOptions{}, echoAccept())
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.Settle()
+	conn, _ := client.Dial(testSvc)
+	echoed := collect(conn)
+	conn.OnConnected(func() { conn.Write([]byte("one|")) })
+	net.RunFor(2 * time.Second)
+
+	if err := svc.Leave(replicas[0]); err != nil { // the primary departs
+		t.Fatal(err)
+	}
+	net.Settle()
+	chain := svc.Chain()
+	if len(chain) != 2 || chain[0] != replicas[1].Addr() {
+		t.Fatalf("chain after primary leave = %v", chain)
+	}
+	conn.Write([]byte("two"))
+	net.RunFor(60 * time.Second)
+	if string(*echoed) != "one|two" {
+		t.Fatalf("echo = %q", *echoed)
+	}
+	// Leaving twice (or a stranger) errors cleanly.
+	stranger := net.AddHost("stranger", HostConfig{})
+	if err := svc.Leave(stranger); err == nil {
+		t.Fatal("Leave accepted a non-member")
+	}
+}

@@ -1,0 +1,111 @@
+// Package app provides small event-driven applications over the simulated
+// TCP socket API: echo and sink servers, data sources, a minimal HTTP-like
+// request/response server, and a stream feeder. They handle backpressure
+// correctly (no byte is dropped when the send buffer fills), which matters
+// doubly under HydraNet-FT: every replica runs the same application, and
+// the byte streams they produce must be identical.
+package app
+
+import (
+	"hydranet/internal/tcp"
+)
+
+// Echo returns everything it receives and closes when the peer closes.
+func Echo(c *tcp.Conn) {
+	var pending []byte
+	peerDone := false
+	buf := make([]byte, 4096)
+	flush := func() {
+		for len(pending) > 0 {
+			n := c.Write(pending)
+			if n == 0 {
+				return
+			}
+			pending = pending[n:]
+		}
+		if peerDone {
+			c.Close()
+		}
+	}
+	c.OnReadable(func() {
+		for {
+			n := c.Read(buf)
+			if n == 0 {
+				break
+			}
+			pending = append(pending, buf[:n]...)
+		}
+		if c.PeerClosed() {
+			peerDone = true
+		}
+		flush()
+	})
+	c.OnWritable(flush)
+}
+
+// SinkStats records what a Sink consumed.
+type SinkStats struct {
+	Bytes int
+	EOF   bool
+}
+
+// Sink consumes and discards inbound data, closing after EOF. It returns a
+// stats record that updates as data arrives.
+func Sink(c *tcp.Conn) *SinkStats {
+	st := &SinkStats{}
+	buf := make([]byte, 8192)
+	c.OnReadable(func() {
+		for {
+			n := c.Read(buf)
+			if n == 0 {
+				break
+			}
+			st.Bytes += n
+		}
+		if c.PeerClosed() && !st.EOF {
+			st.EOF = true
+			c.Close()
+		}
+	})
+	return st
+}
+
+// Collect accumulates all received bytes into out.
+func Collect(c *tcp.Conn, out *[]byte) {
+	buf := make([]byte, 8192)
+	c.OnReadable(func() {
+		for {
+			n := c.Read(buf)
+			if n == 0 {
+				break
+			}
+			*out = append(*out, buf[:n]...)
+		}
+	})
+}
+
+// Source writes payload to the connection as buffer space allows and, if
+// closeWhenDone, closes afterwards. Call before or after the connection
+// establishes; it hooks OnConnected and OnWritable.
+func Source(c *tcp.Conn, payload []byte, closeWhenDone bool) {
+	rest := payload
+	var feed func()
+	feed = func() {
+		for len(rest) > 0 {
+			n := c.Write(rest)
+			if n == 0 {
+				return
+			}
+			rest = rest[n:]
+		}
+		if closeWhenDone {
+			c.Close()
+			closeWhenDone = false
+		}
+	}
+	c.OnWritable(feed)
+	c.OnConnected(feed)
+	if c.State() == tcp.StateEstablished {
+		feed()
+	}
+}

@@ -1,0 +1,98 @@
+package app
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"hydranet/internal/ipv4"
+	"hydranet/internal/netsim"
+	"hydranet/internal/sim"
+	"hydranet/internal/tcp"
+)
+
+// pairConn builds two linked hosts and returns (sched, client stack, server
+// stack, server address).
+func pairConn(t *testing.T, cfg tcp.Config) (*sim.Scheduler, *tcp.Stack, *tcp.Stack, ipv4.Addr) {
+	t.Helper()
+	sched := sim.NewScheduler(71)
+	nw := netsim.New(sched)
+	a := nw.AddNode(netsim.NodeConfig{Name: "client"})
+	b := nw.AddNode(netsim.NodeConfig{Name: "server"})
+	nw.Connect(a, b, netsim.LinkConfig{Rate: 10_000_000, Delay: time.Millisecond})
+	sa, sb := ipv4.NewStack(a, sched), ipv4.NewStack(b, sched)
+	serverAddr := ipv4.MustParseAddr("10.0.0.2")
+	sa.SetAddr(0, ipv4.MustParseAddr("10.0.0.1"))
+	sb.SetAddr(0, serverAddr)
+	sa.Routes().AddDefault(0)
+	sb.Routes().AddDefault(0)
+	return sched, tcp.NewStack(sa, cfg), tcp.NewStack(sb, cfg), serverAddr
+}
+
+func TestEchoBackpressure(t *testing.T) {
+	// Tiny buffers force Write to return partial/zero inside Echo; no byte
+	// may be lost or reordered.
+	cfg := tcp.Config{SendBufSize: 2048, RecvBufSize: 2048}
+	sched, cs, ss, serverAddr := pairConn(t, cfg)
+	l, _ := ss.Listen(0, 7)
+	l.SetAcceptFunc(Echo)
+	payload := make([]byte, 100_000)
+	for i := range payload {
+		payload[i] = byte(i * 11)
+	}
+	conn, err := cs.Connect(0, tcp.Endpoint{Addr: serverAddr, Port: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []byte
+	Collect(conn, &got)
+	Source(conn, payload, true)
+	sched.RunUntil(5 * time.Minute)
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("echo through tiny buffers: %d of %d bytes", len(got), len(payload))
+	}
+}
+
+func TestEchoClosesAfterPeer(t *testing.T) {
+	sched, cs, ss, serverAddr := pairConn(t, tcp.Config{TimeWaitDuration: time.Second})
+	l, _ := ss.Listen(0, 7)
+	l.SetAcceptFunc(Echo)
+	conn, _ := cs.Connect(0, tcp.Endpoint{Addr: serverAddr, Port: 7})
+	closed := false
+	conn.OnClosed(func(err error) { closed = err == nil })
+	Source(conn, []byte("bye"), true)
+	sched.RunUntil(time.Minute)
+	if !closed {
+		t.Fatal("echo server did not close back; client never finished")
+	}
+	if ss.NumConns() != 0 {
+		t.Fatalf("server still tracks %d conns", ss.NumConns())
+	}
+}
+
+func TestSinkCountsAndEOF(t *testing.T) {
+	sched, cs, ss, serverAddr := pairConn(t, tcp.Config{})
+	l, _ := ss.Listen(0, 9)
+	var st *SinkStats
+	l.SetAcceptFunc(func(c *tcp.Conn) { st = Sink(c) })
+	conn, _ := cs.Connect(0, tcp.Endpoint{Addr: serverAddr, Port: 9})
+	Source(conn, make([]byte, 50_000), true)
+	sched.RunUntil(time.Minute)
+	if st == nil || st.Bytes != 50_000 || !st.EOF {
+		t.Fatalf("sink stats = %+v", st)
+	}
+}
+
+func TestSourceOnAlreadyEstablishedConn(t *testing.T) {
+	sched, cs, ss, serverAddr := pairConn(t, tcp.Config{})
+	l, _ := ss.Listen(0, 9)
+	var st *SinkStats
+	l.SetAcceptFunc(func(c *tcp.Conn) { st = Sink(c) })
+	conn, _ := cs.Connect(0, tcp.Endpoint{Addr: serverAddr, Port: 9})
+	sched.RunUntil(time.Second) // establish first
+	Source(conn, []byte("late start"), true)
+	sched.RunUntil(time.Minute)
+	if st == nil || st.Bytes != 10 {
+		t.Fatalf("late Source delivered %+v", st)
+	}
+}

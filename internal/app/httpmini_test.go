@@ -1,0 +1,98 @@
+package app
+
+import (
+	"testing"
+	"time"
+
+	"hydranet/internal/tcp"
+)
+
+func TestHTTPServerAndGet(t *testing.T) {
+	sched, cs, ss, serverAddr := pairConn(t, tcp.Config{})
+	l, _ := ss.Listen(0, 80)
+	l.SetAcceptFunc(HTTPServer(map[string]string{
+		"/":     "home",
+		"/long": string(make([]byte, 50_000)),
+	}))
+
+	get := func(path string) (int, int, bool) {
+		conn, err := cs.Connect(0, tcp.Endpoint{Addr: serverAddr, Port: 80})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var status, n int
+		ok := false
+		HTTPGet(conn, path, func(s int, body []byte, good bool) {
+			status, n, ok = s, len(body), good
+		})
+		sched.RunUntil(sched.Now() + time.Minute)
+		return status, n, ok
+	}
+
+	if s, n, ok := get("/"); !ok || s != 200 || n != 4 {
+		t.Fatalf("GET / = %d %d ok=%v", s, n, ok)
+	}
+	if s, n, ok := get("/long"); !ok || s != 200 || n != 50_000 {
+		t.Fatalf("GET /long = %d %d ok=%v (body must span many segments)", s, n, ok)
+	}
+	if s, _, ok := get("/nope"); !ok || s != 404 {
+		t.Fatalf("GET /nope = %d ok=%v", s, ok)
+	}
+}
+
+func TestDecodeResponseIncremental(t *testing.T) {
+	full := encodeResponse(200, []byte("abcdef"))
+	for cut := 0; cut < len(full); cut++ {
+		if _, _, complete := decodeResponse(full[:cut]); complete {
+			t.Fatalf("response complete at %d of %d bytes", cut, len(full))
+		}
+	}
+	status, body, complete := decodeResponse(full)
+	if !complete || status != 200 || string(body) != "abcdef" {
+		t.Fatalf("decode = %d %q %v", status, body, complete)
+	}
+}
+
+func TestCacheAgentCoalescesConcurrentMisses(t *testing.T) {
+	sched, cs, ss, serverAddr := pairConn(t, tcp.Config{})
+	// "Origin" on the server host; the agent runs on the client host and
+	// dials back for misses. The two roles just need distinct stacks.
+	origin, _ := ss.Listen(0, 8080)
+	fetches := 0
+	serve := HTTPServer(map[string]string{"/x": "payload"})
+	origin.SetAcceptFunc(func(c *tcp.Conn) {
+		fetches++
+		serve(c)
+	})
+	agent := NewCacheAgent(func() (*tcp.Conn, error) {
+		return cs.Connect(0, tcp.Endpoint{Addr: serverAddr, Port: 8080})
+	})
+	clientAddr := cs.IP().Addr(0)
+	front, _ := cs.Listen(0, 80)
+	front.SetAcceptFunc(agent.Accept)
+
+	// Two concurrent requests for the same path before any response can
+	// arrive: the agent must fetch once and answer both.
+	answered := 0
+	for i := 0; i < 2; i++ {
+		conn, err := ss.Connect(0, tcp.Endpoint{Addr: clientAddr, Port: 80})
+		if err != nil {
+			t.Fatal(err)
+		}
+		HTTPGet(conn, "/x", func(s int, body []byte, ok bool) {
+			if ok && s == 200 && string(body) == "payload" {
+				answered++
+			}
+		})
+	}
+	sched.RunUntil(sched.Now() + time.Minute)
+	if answered != 2 {
+		t.Fatalf("answered = %d, want 2", answered)
+	}
+	if fetches != 1 {
+		t.Fatalf("origin fetches = %d, want 1 (coalesced)", fetches)
+	}
+	if hits, misses := agent.Stats(); hits != 0 || misses != 1 {
+		t.Fatalf("agent stats hits=%d misses=%d", hits, misses)
+	}
+}

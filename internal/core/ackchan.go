@@ -1,0 +1,84 @@
+package core
+
+import (
+	"errors"
+
+	"hydranet/internal/ipv4"
+	"hydranet/internal/tcp"
+)
+
+// AckChannelPort is the well-known UDP port of the kernel-to-kernel
+// acknowledgment channel between replicas (paper Section 4.3).
+const AckChannelPort = 5402
+
+// ChainMsg is one acknowledgment-channel message: the flow-control fields a
+// backup strips from a would-be TCP packet, reinterpreted as the sender's
+// cursor positions.
+//
+// SndNxt is the sequence number through which the sender has (logically)
+// sent: the predecessor may send any byte k < SndNxt. RcvNxt is the
+// sender's ACKNOWLEDGEMENT NUMBER: it has deposited every byte k < RcvNxt,
+// so the predecessor may deposit up to there. FIN and SYN occupy sequence
+// space, so the same two numbers gate the handshake and teardown too.
+type ChainMsg struct {
+	Service ServiceID
+	Client  tcp.Endpoint
+	SndNxt  tcp.Seq
+	RcvNxt  tcp.Seq
+}
+
+const (
+	chainMsgMagic   = 0xFA
+	chainMsgVersion = 1
+	chainMsgLen     = 22
+)
+
+// ErrBadChainMsg reports an undecodable acknowledgment-channel datagram.
+var ErrBadChainMsg = errors.New("core: malformed acknowledgment-channel message")
+
+// Marshal encodes the message for the UDP acknowledgment channel.
+func (m *ChainMsg) Marshal() []byte {
+	b := make([]byte, chainMsgLen)
+	b[0] = chainMsgMagic
+	b[1] = chainMsgVersion
+	putU32(b[2:6], uint32(m.Service.Addr))
+	putU16(b[6:8], m.Service.Port)
+	putU32(b[8:12], uint32(m.Client.Addr))
+	putU16(b[12:14], m.Client.Port)
+	putU32(b[14:18], uint32(m.SndNxt))
+	putU32(b[18:22], uint32(m.RcvNxt))
+	return b
+}
+
+// UnmarshalChainMsg decodes an acknowledgment-channel datagram.
+func UnmarshalChainMsg(b []byte) (*ChainMsg, error) {
+	if len(b) != chainMsgLen || b[0] != chainMsgMagic || b[1] != chainMsgVersion {
+		return nil, ErrBadChainMsg
+	}
+	return &ChainMsg{
+		Service: ServiceID{Addr: ipv4.Addr(getU32(b[2:6])), Port: getU16(b[6:8])},
+		Client:  tcp.Endpoint{Addr: ipv4.Addr(getU32(b[8:12])), Port: getU16(b[12:14])},
+		SndNxt:  tcp.Seq(getU32(b[14:18])),
+		RcvNxt:  tcp.Seq(getU32(b[18:22])),
+	}, nil
+}
+
+func putU32(b []byte, v uint32) {
+	b[0] = byte(v >> 24)
+	b[1] = byte(v >> 16)
+	b[2] = byte(v >> 8)
+	b[3] = byte(v)
+}
+
+func putU16(b []byte, v uint16) {
+	b[0] = byte(v >> 8)
+	b[1] = byte(v)
+}
+
+func getU32(b []byte) uint32 {
+	return uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3])
+}
+
+func getU16(b []byte) uint16 {
+	return uint16(b[0])<<8 | uint16(b[1])
+}

@@ -1,0 +1,474 @@
+// Package core implements the HydraNet-FT fault-tolerant TCP machinery —
+// the paper's primary contribution (Section 4). A replica of a TCP service
+// is marked primary or backup per replicated port. Replicas are
+// daisy-chained along a one-way UDP acknowledgment channel
+// S_N → … → S_1 → S_0 (primary):
+//
+//   - every replica receives each client packet (multicast by the
+//     redirector), but only the primary's responses reach the client;
+//   - a replica deposits (and thereby acknowledges) byte k of the client
+//     stream only after its successor reported depositing past k;
+//   - a replica sends byte k of the response stream only after its
+//     successor reported sending past k;
+//   - the last replica in the chain is free to proceed immediately.
+//
+// The same gating applies to the SYN and FIN, which occupy sequence space,
+// so connection setup and teardown are chain-ordered too. Repeated client
+// retransmissions — the signature of a broken flow-control loop — feed a
+// low-latency failure estimator that triggers reconfiguration.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"hydranet/internal/ipv4"
+	"hydranet/internal/sim"
+	"hydranet/internal/tcp"
+	"hydranet/internal/udp"
+)
+
+// ServiceID identifies a replicated transport-level service access point:
+// the virtual-host address and well-known TCP port.
+type ServiceID struct {
+	Addr ipv4.Addr
+	Port uint16
+}
+
+// String renders addr:port.
+func (s ServiceID) String() string { return fmt.Sprintf("%s:%d", s.Addr, s.Port) }
+
+// Mode is a replica's role for one replicated port.
+type Mode int
+
+// Replica roles.
+const (
+	ModePrimary Mode = iota + 1
+	ModeBackup
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModePrimary:
+		return "primary"
+	case ModeBackup:
+		return "backup"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// DetectorParams configure the per-port failure estimator — the
+// detector-parameters argument of the paper's setportopt() call.
+type DetectorParams struct {
+	// RetransmitThreshold is how many client retransmissions on one
+	// connection raise a failure suspicion. The paper notes the trade-off:
+	// low values detect quickly but risk false positives and interfere
+	// with TCP congestion control (triple-duplicate ACKs are normal).
+	// Default 4.
+	RetransmitThreshold int
+	// SuspectCooldown suppresses repeated reports for the same port while
+	// a reconfiguration is presumably in progress. Default 2s.
+	SuspectCooldown time.Duration
+}
+
+func (p DetectorParams) withDefaults() DetectorParams {
+	if p.RetransmitThreshold == 0 {
+		p.RetransmitThreshold = 4
+	}
+	if p.SuspectCooldown == 0 {
+		p.SuspectCooldown = 2 * time.Second
+	}
+	return p
+}
+
+// pendingConnTTL bounds how long a chain-message-created placeholder for a
+// connection whose SYN has not arrived yet is kept before it is discarded.
+const pendingConnTTL = time.Minute
+
+// SuspectFunc is notified when the failure estimator on a replicated port
+// trips. The replica management daemon forwards the report to the
+// redirector.
+type SuspectFunc func(svc ServiceID)
+
+// Stats counts manager-level events.
+type Stats struct {
+	ChainMsgsSent     uint64
+	ChainMsgsReceived uint64
+	ChainMsgsBad      uint64
+	ChainMsgsOrphan   uint64 // for services not replicated here
+	Suspicions        uint64
+	Promotions        uint64
+}
+
+// Manager is the per-host-server ft-TCP engine: it owns the replicated-port
+// table and the host's end of the acknowledgment channel.
+type Manager struct {
+	sched    *sim.Scheduler
+	tcpStack *tcp.Stack
+	udpStack *udp.Stack
+	hostAddr ipv4.Addr // real address, used as acknowledgment-channel source
+	ports    map[ServiceID]*ReplicatedPort
+	stats    Stats
+	suspect  SuspectFunc
+
+	// chainLoss artificially drops outgoing acknowledgment-channel
+	// messages with the given probability — an ablation instrument for
+	// studying the paper's trade-off of running the channel over
+	// unreliable UDP (Section 4.3).
+	chainLoss float64
+}
+
+// NewManager creates the engine and binds the acknowledgment-channel UDP
+// port. hostAddr is the host server's real (non-virtual) address.
+func NewManager(tcpStack *tcp.Stack, udpStack *udp.Stack, hostAddr ipv4.Addr) (*Manager, error) {
+	m := &Manager{
+		sched:    tcpStack.Scheduler(),
+		tcpStack: tcpStack,
+		udpStack: udpStack,
+		hostAddr: hostAddr,
+		ports:    make(map[ServiceID]*ReplicatedPort),
+	}
+	if err := udpStack.Bind(0, AckChannelPort, m.onChainDatagram); err != nil {
+		return nil, fmt.Errorf("core: binding acknowledgment channel: %w", err)
+	}
+	return m, nil
+}
+
+// OnSuspect installs the failure-report callback.
+func (m *Manager) OnSuspect(fn SuspectFunc) { m.suspect = fn }
+
+// SetChainLoss makes the manager drop outgoing acknowledgment-channel
+// messages with probability p (ablation instrument; default 0).
+func (m *Manager) SetChainLoss(p float64) { m.chainLoss = p }
+
+// Stats returns a snapshot of the manager counters.
+func (m *Manager) Stats() Stats { return m.stats }
+
+// HostAddr returns the host server's real address.
+func (m *Manager) HostAddr() ipv4.Addr { return m.hostAddr }
+
+// SetPortOpt marks a TCP port replicated with the given role — the paper's
+// setportopt(port, mode, detector-parameters) system call. It returns the
+// port object used to wire listeners and reconfigure the chain.
+func (m *Manager) SetPortOpt(svc ServiceID, mode Mode, det DetectorParams) *ReplicatedPort {
+	p := m.ports[svc]
+	if p == nil {
+		p = &ReplicatedPort{
+			mgr:   m,
+			svc:   svc,
+			conns: make(map[tcp.Endpoint]*ftConn),
+		}
+		m.ports[svc] = p
+	}
+	p.mode = mode
+	p.det = det.withDefaults()
+	return p
+}
+
+// Port returns the replicated port state for svc, or nil.
+func (m *Manager) Port(svc ServiceID) *ReplicatedPort { return m.ports[svc] }
+
+// ClearPort removes the replicated-port marking (service leaving).
+func (m *Manager) ClearPort(svc ServiceID) { delete(m.ports, svc) }
+
+// Reset discards all replicated-port state — what a host server loses when
+// it crashes. Statistics survive (they belong to the experiment, not the
+// machine).
+func (m *Manager) Reset() {
+	m.ports = make(map[ServiceID]*ReplicatedPort)
+}
+
+// onChainDatagram handles acknowledgment-channel traffic from successors.
+func (m *Manager) onChainDatagram(_ udp.Endpoint, _ ipv4.Addr, payload []byte) {
+	msg, err := UnmarshalChainMsg(payload)
+	if err != nil {
+		m.stats.ChainMsgsBad++
+		return
+	}
+	m.stats.ChainMsgsReceived++
+	p := m.ports[msg.Service]
+	if p == nil {
+		m.stats.ChainMsgsOrphan++
+		return
+	}
+	p.onChainMsg(msg)
+}
+
+// ReplicatedPort is per-(virtual host, TCP port) replication state on one
+// host server.
+type ReplicatedPort struct {
+	mgr  *Manager
+	svc  ServiceID
+	mode Mode
+	det  DetectorParams
+
+	// upstream is where this replica sends its stripped flow-control
+	// information: the server "ahead of it" in the chain (its
+	// predecessor). Zero for the primary, which heads the chain.
+	upstream udp.Endpoint
+	// gated reports whether a successor exists behind this replica. The
+	// last replica in the chain (and a primary with no backups) is free to
+	// deposit and send immediately.
+	gated bool
+
+	conns        map[tcp.Endpoint]*ftConn
+	lastSuspect  time.Duration
+	hasSuspected bool
+}
+
+// ftConn is per-connection chain state.
+type ftConn struct {
+	port  *ReplicatedPort
+	conn  *tcp.Conn // nil until the SYN reaches us
+	gated bool      // snapshot of the port's gating at adoption; relax-only
+
+	// Limits reported by our successor. Valid once haveLimits is set;
+	// until then a gated replica neither deposits nor sends.
+	haveLimits   bool
+	depositLimit tcp.Seq // successor's RcvNxt
+	sendLimit    tcp.Seq // successor's SndNxt
+
+	retransmits int // client retransmissions since last progress
+}
+
+// Service returns the port's service identity.
+func (p *ReplicatedPort) Service() ServiceID { return p.svc }
+
+// Mode returns the replica's current role.
+func (p *ReplicatedPort) Mode() Mode { return p.mode }
+
+// SetUpstream configures where stripped flow-control information is sent
+// (the predecessor host's acknowledgment-channel endpoint). The replica
+// management protocol calls this when the chain is built or repaired.
+func (p *ReplicatedPort) SetUpstream(host ipv4.Addr) {
+	if host == 0 {
+		p.upstream = udp.Endpoint{}
+		return
+	}
+	p.upstream = udp.Endpoint{Addr: host, Port: AckChannelPort}
+}
+
+// SetGated declares whether a successor replica exists behind this one.
+// Ungated replicas (chain tail) deposit and send freely.
+//
+// Gating is captured per connection when it is adopted and can only be
+// relaxed afterwards: a backup that joins mid-stream has no TCP state for
+// established connections, so tightening their gate would stall them
+// forever (the paper leaves re-commissioning of recovered servers to
+// future work). New connections pick up the new setting.
+func (p *ReplicatedPort) SetGated(gated bool) {
+	p.gated = gated
+	if !gated {
+		for _, fc := range p.conns {
+			fc.gated = false
+			if fc.conn != nil {
+				fc.conn.Poke()
+			}
+		}
+	}
+}
+
+// Promote switches a backup to primary — the fail-over step. Suppression
+// stops, retransmission backoff is cleared, and every connection
+// immediately repairs the client-visible stream.
+func (p *ReplicatedPort) Promote() {
+	if p.mode == ModePrimary {
+		return
+	}
+	p.mode = ModePrimary
+	p.upstream = udp.Endpoint{}
+	p.mgr.stats.Promotions++
+	for _, fc := range p.conns {
+		if fc.conn == nil {
+			continue
+		}
+		fc.installHooks() // re-evaluate suppression
+		fc.conn.ForceRetransmit()
+		fc.conn.Poke()
+	}
+}
+
+// Demote switches a primary back to backup. This happens when management
+// messages race (a backup registered before the primary is briefly sole
+// member, hence primary) — the authoritative chain then demotes it, and its
+// transmissions must be suppressed again.
+func (p *ReplicatedPort) Demote() {
+	if p.mode == ModeBackup {
+		return
+	}
+	p.mode = ModeBackup
+	for _, fc := range p.conns {
+		if fc.conn != nil {
+			fc.installHooks()
+		}
+	}
+}
+
+// AttachListener wires a TCP listener for this service so every accepted
+// connection runs under ft-TCP hooks from the SYN onward.
+func (p *ReplicatedPort) AttachListener(l *tcp.Listener) {
+	l.SetSetupFunc(func(c *tcp.Conn) {
+		p.adopt(c)
+	})
+}
+
+// adopt begins managing a server-side connection.
+func (p *ReplicatedPort) adopt(c *tcp.Conn) {
+	client := c.Remote()
+	fc := p.conns[client]
+	if fc == nil {
+		fc = &ftConn{port: p}
+		p.conns[client] = fc
+	}
+	fc.conn = c
+	fc.gated = p.gated
+	fc.installHooks()
+}
+
+// Conns returns the number of connections under management.
+func (p *ReplicatedPort) Conns() int { return len(p.conns) }
+
+// onChainMsg folds successor state into the connection's limits.
+func (p *ReplicatedPort) onChainMsg(msg *ChainMsg) {
+	fc := p.conns[msg.Client]
+	if fc == nil {
+		// The successor saw the SYN before we did (multicast races are
+		// normal); remember the limits for when our SYN arrives. If it
+		// never does (the SYN copy was lost, or the connection is already
+		// gone), the placeholder expires instead of leaking.
+		fc = &ftConn{port: p}
+		p.conns[msg.Client] = fc
+		client := msg.Client
+		p.mgr.sched.After(pendingConnTTL, func() {
+			if ghost := p.conns[client]; ghost == fc && ghost.conn == nil {
+				delete(p.conns, client)
+			}
+		})
+	}
+	if !fc.haveLimits {
+		fc.haveLimits = true
+		fc.depositLimit = msg.RcvNxt
+		fc.sendLimit = msg.SndNxt
+	} else {
+		fc.depositLimit = tcp.MaxSeq(fc.depositLimit, msg.RcvNxt)
+		fc.sendLimit = tcp.MaxSeq(fc.sendLimit, msg.SndNxt)
+	}
+	if fc.conn != nil {
+		fc.conn.Poke()
+	}
+}
+
+// installHooks wires the ft-TCP extension points for the connection
+// according to the replica's current role and chain position.
+func (fc *ftConn) installHooks() {
+	p := fc.port
+	hooks := tcp.ConnHooks{
+		OnPeerRetransmit: fc.onClientRetransmit,
+		// A replica's own retransmission timeouts are the push-direction
+		// failure signal: if the service streams to a silent client, a
+		// dead primary never provokes client retransmissions, but the
+		// backups' unacknowledged data does time out repeatedly.
+		OnRTO:         fc.onClientRetransmit,
+		OnDeposit:     fc.onProgress,
+		OnAckProgress: func() { fc.retransmits = 0 },
+		OnClosed:      func(error) { delete(p.conns, fc.conn.Remote()) },
+	}
+	hooks.DepositLimit = func() (tcp.Seq, bool) {
+		if !fc.gated {
+			return 0, false
+		}
+		if !fc.haveLimits {
+			// No word from the successor yet: hold everything. The
+			// deposit cursor itself is the safe floor.
+			return fc.conn.RcvNxt(), true
+		}
+		return fc.depositLimit, true
+	}
+	hooks.SendLimit = func() (tcp.Seq, bool) {
+		if !fc.gated {
+			return 0, false
+		}
+		if !fc.haveLimits {
+			return fc.conn.SndNxt(), true
+		}
+		return fc.sendLimit, true
+	}
+	if p.mode == ModeBackup {
+		hooks.SuppressTransmit = func(seg *tcp.Segment) bool {
+			fc.forwardChain(seg)
+			return true
+		}
+	} else if p.upstream.Addr != 0 {
+		// A primary never suppresses, but if (transitionally) it has an
+		// upstream configured it still reports progress.
+		hooks.SuppressTransmit = nil
+	}
+	fc.conn.SetHooks(hooks)
+}
+
+// forwardChain strips a suppressed segment to its flow-control fields and
+// sends them up the acknowledgment channel.
+func (fc *ftConn) forwardChain(seg *tcp.Segment) {
+	// The segment's SEQ plus its occupancy is this replica's send cursor
+	// after the packet; its ACK field is the deposit cursor.
+	fc.sendChainMsg(seg.Seq.Add(seg.Len()), seg.Ack)
+}
+
+// forwardCursors sends the connection's current flow-control cursors up the
+// chain. The paper: "Once Si has deposited the data in the socket buffer,
+// it forwards the flow control information along the acknowledgement
+// channel" — deposits propagate immediately rather than waiting for the
+// next (possibly delayed-ACK-batched) would-be packet.
+func (fc *ftConn) forwardCursors() {
+	fc.sendChainMsg(fc.conn.SndNxt(), fc.conn.RcvNxt())
+}
+
+func (fc *ftConn) sendChainMsg(sndNxt, rcvNxt tcp.Seq) {
+	p := fc.port
+	if p.upstream.Addr == 0 {
+		return
+	}
+	msg := ChainMsg{
+		Service: p.svc,
+		Client:  fc.conn.Remote(),
+		SndNxt:  sndNxt,
+		RcvNxt:  rcvNxt,
+	}
+	if p.mgr.chainLoss > 0 && p.mgr.sched.Rand().Float64() < p.mgr.chainLoss {
+		return // ablation: lost acknowledgment-channel message
+	}
+	p.mgr.stats.ChainMsgsSent++
+	// Send errors mean no route to the predecessor — the chain is broken
+	// and reconfiguration will handle it; nothing to do here.
+	_ = p.mgr.udpStack.SendTo(p.mgr.hostAddr, AckChannelPort, p.upstream, msg.Marshal()) //nolint:errcheck
+}
+
+// onClientRetransmit is the failure-estimator input (paper Section 4.3):
+// repeated client retransmissions mean the flow-control loop is broken
+// somewhere in the replica set.
+func (fc *ftConn) onClientRetransmit() {
+	p := fc.port
+	fc.retransmits++
+	if fc.retransmits < p.det.RetransmitThreshold {
+		return
+	}
+	now := p.mgr.sched.Now()
+	if p.hasSuspected && now-p.lastSuspect < p.det.SuspectCooldown {
+		return
+	}
+	p.hasSuspected = true
+	p.lastSuspect = now
+	fc.retransmits = 0
+	p.mgr.stats.Suspicions++
+	if p.mgr.suspect != nil {
+		p.mgr.suspect(p.svc)
+	}
+}
+
+// onProgress runs after every deposit: it resets the failure estimator
+// (data is flowing) and immediately forwards the new cursors up the chain.
+func (fc *ftConn) onProgress() {
+	fc.retransmits = 0
+	fc.forwardCursors()
+}

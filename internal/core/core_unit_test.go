@@ -1,0 +1,151 @@
+package core_test
+
+import (
+	"testing"
+	"time"
+
+	"hydranet"
+	"hydranet/internal/app"
+	"hydranet/internal/core"
+)
+
+func TestPromoteDemoteIdempotent(t *testing.T) {
+	net := hydranet.New(hydranet.Config{Seed: 81})
+	h := net.AddHost("h", hydranet.HostConfig{})
+	rd := net.AddRedirector("rd", hydranet.HostConfig{})
+	net.Link(h, rd.Host, hydranet.LinkConfig{})
+	net.AutoRoute()
+	port := h.FTManager().SetPortOpt(svc, core.ModeBackup, core.DetectorParams{})
+
+	port.Promote()
+	port.Promote() // second promote is a no-op
+	if port.Mode() != core.ModePrimary {
+		t.Fatalf("mode = %v", port.Mode())
+	}
+	if got := h.FTManager().Stats().Promotions; got != 1 {
+		t.Fatalf("promotions = %d, want 1 (idempotent)", got)
+	}
+	port.Demote()
+	port.Demote()
+	if port.Mode() != core.ModeBackup {
+		t.Fatalf("mode = %v after demote", port.Mode())
+	}
+}
+
+func TestChainMsgForUnknownServiceCounted(t *testing.T) {
+	net := hydranet.New(hydranet.Config{Seed: 82})
+	a := net.AddHost("a", hydranet.HostConfig{})
+	b := net.AddHost("b", hydranet.HostConfig{})
+	net.Link(a, b, hydranet.LinkConfig{Delay: time.Millisecond})
+	net.AutoRoute()
+	// Both managers exist; a sends a chain message for a service b never
+	// registered.
+	_ = a.FTManager()
+	mgrB := b.FTManager()
+	msg := core.ChainMsg{
+		Service: hydranet.ServiceID{Addr: hydranet.MustAddr("9.9.9.9"), Port: 99},
+		Client:  hydranet.Endpoint{Addr: 1, Port: 2},
+		SndNxt:  10, RcvNxt: 20,
+	}
+	if err := a.UDP().SendTo(0, core.AckChannelPort,
+		hydranet.UDPEndpoint{Addr: b.Addr(), Port: core.AckChannelPort}, msg.Marshal()); err != nil {
+		t.Fatal(err)
+	}
+	net.RunFor(time.Second)
+	if got := mgrB.Stats().ChainMsgsOrphan; got != 1 {
+		t.Fatalf("orphan chain messages = %d, want 1", got)
+	}
+}
+
+func TestGarbageOnAckChannelCounted(t *testing.T) {
+	net := hydranet.New(hydranet.Config{Seed: 83})
+	a := net.AddHost("a", hydranet.HostConfig{})
+	b := net.AddHost("b", hydranet.HostConfig{})
+	net.Link(a, b, hydranet.LinkConfig{Delay: time.Millisecond})
+	net.AutoRoute()
+	mgrB := b.FTManager()
+	_ = a.UDP().SendTo(0, 1234,
+		hydranet.UDPEndpoint{Addr: b.Addr(), Port: core.AckChannelPort}, []byte("not a chain msg"))
+	net.RunFor(time.Second)
+	if got := mgrB.Stats().ChainMsgsBad; got != 1 {
+		t.Fatalf("bad chain messages = %d, want 1", got)
+	}
+}
+
+// TestChainMsgBeforeSYN: the multicast race — a successor's chain message
+// for a connection arrives before our copy of the SYN. The limits must be
+// remembered and applied once the connection exists.
+func TestChainMsgBeforeSYN(t *testing.T) {
+	// Give the future primary a long, slow link so its SYN copy arrives
+	// well after the backup has already processed the handshake and sent
+	// chain messages.
+	net := hydranet.New(hydranet.Config{Seed: 84})
+	client := net.AddHost("client", hydranet.HostConfig{})
+	rd := net.AddRedirector("rd", hydranet.HostConfig{})
+	s0 := net.AddHost("s0", hydranet.HostConfig{})
+	s1 := net.AddHost("s1", hydranet.HostConfig{})
+	fast := hydranet.LinkConfig{Rate: 10_000_000, Delay: time.Millisecond}
+	slow := hydranet.LinkConfig{Rate: 10_000_000, Delay: 40 * time.Millisecond}
+	net.Link(client, rd.Host, fast)
+	net.Link(s0, rd.Host, slow) // primary is far away
+	net.Link(s1, rd.Host, fast) // backup is near
+	net.AutoRoute()
+	ftsvc, err := net.DeployFT(svc, rd, []*hydranet.Host{s0, s1},
+		hydranet.FTOptions{}, func(c *hydranet.Conn) { app.Echo(c) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.Settle()
+
+	conn, _ := client.Dial(svc)
+	var echoed []byte
+	app.Collect(conn, &echoed)
+	app.Source(conn, []byte("racing the chain"), false)
+	net.RunFor(10 * time.Second)
+	if string(echoed) != "racing the chain" {
+		t.Fatalf("echo = %q under SYN/chain race", echoed)
+	}
+	_ = ftsvc
+}
+
+func TestAckChannelPortBusy(t *testing.T) {
+	net := hydranet.New(hydranet.Config{Seed: 85})
+	h := net.AddHost("h", hydranet.HostConfig{})
+	rd := net.AddRedirector("rd", hydranet.HostConfig{})
+	net.Link(h, rd.Host, hydranet.LinkConfig{})
+	net.AutoRoute()
+	// Squat the acknowledgment-channel port before the manager starts.
+	if err := h.UDP().Bind(0, core.AckChannelPort, func(hydranet.UDPEndpoint, hydranet.Addr, []byte) {}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := core.NewManager(h.TCP(), h.UDP(), h.Addr()); err == nil {
+		t.Fatal("manager bound a busy acknowledgment-channel port")
+	}
+}
+
+// TestPendingChainEntryExpires: chain messages for a connection whose SYN
+// never arrives must not leak placeholder state forever.
+func TestPendingChainEntryExpires(t *testing.T) {
+	net := hydranet.New(hydranet.Config{Seed: 86})
+	a := net.AddHost("a", hydranet.HostConfig{})
+	b := net.AddHost("b", hydranet.HostConfig{})
+	net.Link(a, b, hydranet.LinkConfig{Delay: time.Millisecond})
+	net.AutoRoute()
+	_ = a.FTManager()
+	port := b.FTManager().SetPortOpt(svc, core.ModeBackup, core.DetectorParams{})
+	msg := core.ChainMsg{
+		Service: svc,
+		Client:  hydranet.Endpoint{Addr: 7, Port: 7},
+		SndNxt:  1, RcvNxt: 1,
+	}
+	_ = a.UDP().SendTo(0, core.AckChannelPort,
+		hydranet.UDPEndpoint{Addr: b.Addr(), Port: core.AckChannelPort}, msg.Marshal())
+	net.RunFor(time.Second)
+	if port.Conns() != 1 {
+		t.Fatalf("placeholder not created: %d", port.Conns())
+	}
+	net.RunFor(2 * time.Minute)
+	if port.Conns() != 0 {
+		t.Fatalf("placeholder leaked: %d entries after TTL", port.Conns())
+	}
+}

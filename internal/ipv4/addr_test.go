@@ -1,0 +1,91 @@
+package ipv4
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestParseAddr(t *testing.T) {
+	tests := []struct {
+		in      string
+		want    Addr
+		wantErr bool
+	}{
+		{"192.20.225.20", AddrFrom4(192, 20, 225, 20), false},
+		{"0.0.0.0", 0, false},
+		{"255.255.255.255", Broadcast, false},
+		{"10.0.0.1", 0x0a000001, false},
+		{"256.0.0.1", 0, true},
+		{"1.2.3", 0, true},
+		{"1.2.3.4.5", 0, true},
+		{"a.b.c.d", 0, true},
+		{"", 0, true},
+	}
+	for _, tt := range tests {
+		got, err := ParseAddr(tt.in)
+		if (err != nil) != tt.wantErr {
+			t.Errorf("ParseAddr(%q) err = %v, wantErr %v", tt.in, err, tt.wantErr)
+			continue
+		}
+		if err == nil && got != tt.want {
+			t.Errorf("ParseAddr(%q) = %v, want %v", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestAddrStringRoundTrip(t *testing.T) {
+	f := func(raw uint32) bool {
+		a := Addr(raw)
+		back, err := ParseAddr(a.String())
+		return err == nil && back == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMustParseAddrPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParseAddr on garbage did not panic")
+		}
+	}()
+	MustParseAddr("not-an-address")
+}
+
+func TestPrefixContains(t *testing.T) {
+	tests := []struct {
+		prefix string
+		addr   string
+		want   bool
+	}{
+		{"10.0.0.0/8", "10.1.2.3", true},
+		{"10.0.0.0/8", "11.1.2.3", false},
+		{"192.20.225.0/24", "192.20.225.20", true},
+		{"192.20.225.0/24", "192.20.226.20", false},
+		{"0.0.0.0/0", "8.8.8.8", true},
+		{"1.2.3.4/32", "1.2.3.4", true},
+		{"1.2.3.4/32", "1.2.3.5", false},
+	}
+	for _, tt := range tests {
+		p := MustParsePrefix(tt.prefix)
+		if got := p.Contains(MustParseAddr(tt.addr)); got != tt.want {
+			t.Errorf("%s.Contains(%s) = %v, want %v", tt.prefix, tt.addr, got, tt.want)
+		}
+	}
+}
+
+func TestParsePrefixErrors(t *testing.T) {
+	for _, bad := range []string{"10.0.0.0", "10.0.0.0/33", "10.0.0.0/-1", "x/8", "10.0.0.0/y"} {
+		if _, err := ParsePrefix(bad); err == nil {
+			t.Errorf("ParsePrefix(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+func TestPrefixString(t *testing.T) {
+	p := MustParsePrefix("172.16.0.0/12")
+	if got := p.String(); got != "172.16.0.0/12" {
+		t.Errorf("String() = %q", got)
+	}
+}

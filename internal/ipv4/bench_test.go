@@ -1,0 +1,58 @@
+package ipv4
+
+import "testing"
+
+func BenchmarkChecksum1500(b *testing.B) {
+	data := make([]byte, 1500)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	b.SetBytes(1500)
+	for i := 0; i < b.N; i++ {
+		Checksum(data)
+	}
+}
+
+func BenchmarkHeaderMarshal(b *testing.B) {
+	p := &Packet{
+		Header:  Header{TTL: 64, Proto: ProtoTCP, Src: 1, Dst: 2, ID: 3},
+		Payload: make([]byte, 1460),
+	}
+	b.SetBytes(1480)
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Marshal(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHeaderUnmarshal(b *testing.B) {
+	p := &Packet{
+		Header:  Header{TTL: 64, Proto: ProtoTCP, Src: 1, Dst: 2, ID: 3},
+		Payload: make([]byte, 1460),
+	}
+	frame, err := p.Marshal()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(frame)))
+	for i := 0; i < b.N; i++ {
+		if _, err := Unmarshal(frame); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRouteLookup(b *testing.B) {
+	var rt RoutingTable
+	rt.AddDefault(0)
+	for i := 1; i <= 32; i++ {
+		rt.Add(Route{Dst: Prefix{Addr: AddrFrom4(10, byte(i), 0, 0), Bits: 24}, Ifindex: i})
+	}
+	dst := AddrFrom4(10, 16, 0, 7)
+	for i := 0; i < b.N; i++ {
+		if rt.Lookup(dst) != 16 {
+			b.Fatal("wrong route")
+		}
+	}
+}

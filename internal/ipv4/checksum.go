@@ -1,0 +1,56 @@
+package ipv4
+
+// Checksum computes the Internet checksum (RFC 1071) over data: the one's
+// complement of the one's-complement sum of all 16-bit words, padding an odd
+// trailing byte with zero.
+func Checksum(data []byte) uint16 {
+	return ^foldSum(sum16(0, data))
+}
+
+// sum16 accumulates 16-bit big-endian words of data into a running 32-bit
+// partial sum, for composing checksums over header + pseudo-header + payload.
+func sum16(acc uint32, data []byte) uint32 {
+	n := len(data)
+	for i := 0; i+1 < n; i += 2 {
+		acc += uint32(data[i])<<8 | uint32(data[i+1])
+	}
+	if n%2 == 1 {
+		acc += uint32(data[n-1]) << 8
+	}
+	return acc
+}
+
+func foldSum(acc uint32) uint16 {
+	for acc>>16 != 0 {
+		acc = (acc & 0xffff) + acc>>16
+	}
+	return uint16(acc)
+}
+
+// PseudoChecksum computes the TCP/UDP checksum: the Internet checksum over
+// the IPv4 pseudo-header (src, dst, protocol, segment length) followed by
+// the transport segment (header + payload), whose checksum field must be
+// zero in the supplied bytes.
+func PseudoChecksum(src, dst Addr, proto uint8, segment []byte) uint16 {
+	var pseudo [12]byte
+	putAddr(pseudo[0:4], src)
+	putAddr(pseudo[4:8], dst)
+	pseudo[9] = proto
+	pseudo[10] = byte(len(segment) >> 8)
+	pseudo[11] = byte(len(segment))
+	acc := sum16(0, pseudo[:])
+	acc = sum16(acc, segment)
+	sum := ^foldSum(acc)
+	return sum
+}
+
+func putAddr(b []byte, a Addr) {
+	b[0] = byte(a >> 24)
+	b[1] = byte(a >> 16)
+	b[2] = byte(a >> 8)
+	b[3] = byte(a)
+}
+
+func getAddr(b []byte) Addr {
+	return Addr(uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3]))
+}

@@ -1,0 +1,208 @@
+package ipv4
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"hydranet/internal/sim"
+)
+
+func mkPacket(n int) *Packet {
+	payload := make([]byte, n)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	return &Packet{
+		Header:  Header{TTL: 64, Proto: ProtoTCP, Src: 1, Dst: 2, ID: 42},
+		Payload: payload,
+	}
+}
+
+func TestFragmentFitsUnchanged(t *testing.T) {
+	p := mkPacket(100)
+	frags, err := Fragment(p, 1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frags) != 1 || frags[0] != p {
+		t.Fatal("small datagram was not passed through")
+	}
+}
+
+func TestFragmentSplitsAndAligns(t *testing.T) {
+	p := mkPacket(4000)
+	frags, err := Fragment(p, 1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frags) != 3 {
+		t.Fatalf("got %d fragments, want 3", len(frags))
+	}
+	for i, f := range frags {
+		if f.FragOff%8 != 0 {
+			t.Errorf("fragment %d offset %d not 8-aligned", i, f.FragOff)
+		}
+		if HeaderLen+len(f.Payload) > 1500 {
+			t.Errorf("fragment %d exceeds MTU", i)
+		}
+		wantMore := i < len(frags)-1
+		if f.MoreFrag != wantMore {
+			t.Errorf("fragment %d MF = %v, want %v", i, f.MoreFrag, wantMore)
+		}
+		if f.ID != p.ID {
+			t.Errorf("fragment %d ID changed", i)
+		}
+	}
+}
+
+func TestFragmentHonoursDF(t *testing.T) {
+	p := mkPacket(4000)
+	p.DontFrag = true
+	if _, err := Fragment(p, 1500); err == nil {
+		t.Error("DF datagram fragmented without error")
+	}
+}
+
+func TestFragmentTinyMTU(t *testing.T) {
+	p := mkPacket(100)
+	if _, err := Fragment(p, HeaderLen+8); err != nil {
+		t.Errorf("mtu=28 allows 8-byte chunks, got err %v", err)
+	}
+	// Below header+8 no 8-aligned chunk fits.
+	if _, err := Fragment(p, HeaderLen+4); err == nil {
+		t.Error("mtu too small for an aligned chunk must fail")
+	}
+}
+
+func reassembleAll(t *testing.T, frags []*Packet) *Packet {
+	t.Helper()
+	s := sim.NewScheduler(1)
+	r := NewReassembler(s)
+	var out *Packet
+	for _, f := range frags {
+		if got := r.Add(f); got != nil {
+			if out != nil {
+				t.Fatal("reassembler produced two datagrams")
+			}
+			out = got
+		}
+	}
+	return out
+}
+
+func TestReassembleInOrder(t *testing.T) {
+	p := mkPacket(5000)
+	frags, err := Fragment(p, 1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := reassembleAll(t, frags)
+	if out == nil {
+		t.Fatal("no datagram reassembled")
+	}
+	if !bytes.Equal(out.Payload, p.Payload) {
+		t.Error("payload corrupted by frag/reassembly")
+	}
+	if out.MoreFrag || out.FragOff != 0 {
+		t.Error("reassembled datagram still marked fragmented")
+	}
+}
+
+func TestReassemblePropertyRandomOrderAndDup(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	f := func(n uint16, mtuRaw uint8, dup bool) bool {
+		size := int(n)%8000 + 1
+		mtu := 64 + int(mtuRaw)%1436 // 64..1500
+		p := mkPacket(size)
+		frags, err := Fragment(p, mtu)
+		if err != nil {
+			return false
+		}
+		order := rng.Perm(len(frags))
+		var seq []*Packet
+		for _, i := range order {
+			seq = append(seq, frags[i])
+			if dup && rng.Intn(3) == 0 {
+				seq = append(seq, frags[i]) // duplicate delivery
+			}
+		}
+		s := sim.NewScheduler(1)
+		r := NewReassembler(s)
+		var out *Packet
+		for _, fr := range seq {
+			if got := r.Add(fr); got != nil {
+				out = got
+			}
+		}
+		return out != nil && bytes.Equal(out.Payload, p.Payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReassemblyDistinguishesFlows(t *testing.T) {
+	a := mkPacket(3000)
+	b := mkPacket(3000)
+	b.ID = 43
+	fa, _ := Fragment(a, 1500)
+	fb, _ := Fragment(b, 1500)
+	s := sim.NewScheduler(1)
+	r := NewReassembler(s)
+	// Interleave flows; each must complete independently.
+	done := 0
+	for i := range fa {
+		if r.Add(fa[i]) != nil {
+			done++
+		}
+		if r.Add(fb[i]) != nil {
+			done++
+		}
+	}
+	if done != 2 {
+		t.Fatalf("completed %d datagrams, want 2", done)
+	}
+}
+
+func TestReassemblyTimeoutDiscards(t *testing.T) {
+	p := mkPacket(3000)
+	frags, _ := Fragment(p, 1500)
+	s := sim.NewScheduler(1)
+	r := NewReassembler(s)
+	if r.Add(frags[0]) != nil {
+		t.Fatal("partial datagram completed")
+	}
+	s.RunUntil(ReassemblyTimeout + time.Second)
+	if r.Expired != 1 {
+		t.Fatalf("Expired = %d, want 1", r.Expired)
+	}
+	// The late fragment alone must not complete the datagram.
+	if r.Add(frags[1]) != nil {
+		t.Fatal("expired datagram completed from stale fragment")
+	}
+}
+
+func TestRefragmentMiddleFragmentPreservesMF(t *testing.T) {
+	// A router fragmenting an already-fragmented middle piece must keep MF
+	// on its last sub-fragment.
+	p := mkPacket(4000)
+	frags, _ := Fragment(p, 1500)
+	middle := frags[0]
+	sub, err := Fragment(middle, 600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := sub[len(sub)-1]
+	if !last.MoreFrag {
+		t.Error("last sub-fragment of a middle fragment lost MF")
+	}
+	// End-to-end: re-fragmented stream still reassembles.
+	all := append(append([]*Packet{}, sub...), frags[1:]...)
+	out := reassembleAll(t, all)
+	if out == nil || !bytes.Equal(out.Payload, p.Payload) {
+		t.Error("re-fragmented datagram failed to reassemble")
+	}
+}

@@ -1,0 +1,127 @@
+package ipv4
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Assigned protocol numbers used by HydraNet-FT.
+const (
+	ProtoIPIP uint8 = 4 // IP-in-IP encapsulation, the redirector's tunnel
+	ProtoTCP  uint8 = 6
+	ProtoUDP  uint8 = 17
+)
+
+// HeaderLen is the length of an IPv4 header without options. This stack
+// never emits options.
+const HeaderLen = 20
+
+// Flag bits in the fragmentation field.
+const (
+	flagDF = 0x4000 // don't fragment
+	flagMF = 0x2000 // more fragments
+)
+
+// Header is a parsed IPv4 header (no options).
+type Header struct {
+	TOS      uint8
+	TotalLen int
+	ID       uint16
+	DontFrag bool
+	MoreFrag bool
+	FragOff  int // byte offset of this fragment in the original datagram
+	TTL      uint8
+	Proto    uint8
+	Src, Dst Addr
+}
+
+// Packet is a parsed IPv4 datagram (or fragment).
+type Packet struct {
+	Header
+	Payload []byte
+}
+
+// Errors returned by Unmarshal.
+var (
+	ErrTruncated   = errors.New("ipv4: truncated packet")
+	ErrBadVersion  = errors.New("ipv4: not an IPv4 packet")
+	ErrBadChecksum = errors.New("ipv4: header checksum mismatch")
+	ErrBadLength   = errors.New("ipv4: total length disagrees with frame")
+)
+
+// Marshal serializes the packet into wire format, computing TotalLen and the
+// header checksum. Fragment offsets must be multiples of 8 bytes.
+func (p *Packet) Marshal() ([]byte, error) {
+	if p.FragOff%8 != 0 {
+		return nil, fmt.Errorf("ipv4: fragment offset %d not a multiple of 8", p.FragOff)
+	}
+	total := HeaderLen + len(p.Payload)
+	if total > 0xffff {
+		return nil, fmt.Errorf("ipv4: datagram of %d bytes exceeds 65535", total)
+	}
+	b := make([]byte, total)
+	b[0] = 0x45 // version 4, IHL 5
+	b[1] = p.TOS
+	b[2] = byte(total >> 8)
+	b[3] = byte(total)
+	b[4] = byte(p.ID >> 8)
+	b[5] = byte(p.ID)
+	frag := uint16(p.FragOff / 8)
+	if p.DontFrag {
+		frag |= flagDF
+	}
+	if p.MoreFrag {
+		frag |= flagMF
+	}
+	b[6] = byte(frag >> 8)
+	b[7] = byte(frag)
+	b[8] = p.TTL
+	b[9] = p.Proto
+	// b[10:12] checksum, zero while summing
+	putAddr(b[12:16], p.Src)
+	putAddr(b[16:20], p.Dst)
+	sum := Checksum(b[:HeaderLen])
+	b[10] = byte(sum >> 8)
+	b[11] = byte(sum)
+	copy(b[HeaderLen:], p.Payload)
+	return b, nil
+}
+
+// Unmarshal parses and validates a wire-format IPv4 packet, verifying the
+// header checksum. The returned packet's payload aliases b.
+func Unmarshal(b []byte) (*Packet, error) {
+	if len(b) < HeaderLen {
+		return nil, ErrTruncated
+	}
+	if b[0]>>4 != 4 {
+		return nil, ErrBadVersion
+	}
+	ihl := int(b[0]&0x0f) * 4
+	if ihl < HeaderLen || len(b) < ihl {
+		return nil, ErrTruncated
+	}
+	if Checksum(b[:ihl]) != 0 {
+		return nil, ErrBadChecksum
+	}
+	total := int(b[2])<<8 | int(b[3])
+	if total < ihl || total > len(b) {
+		return nil, ErrBadLength
+	}
+	frag := uint16(b[6])<<8 | uint16(b[7])
+	p := &Packet{
+		Header: Header{
+			TOS:      b[1],
+			TotalLen: total,
+			ID:       uint16(b[4])<<8 | uint16(b[5]),
+			DontFrag: frag&flagDF != 0,
+			MoreFrag: frag&flagMF != 0,
+			FragOff:  int(frag&0x1fff) * 8,
+			TTL:      b[8],
+			Proto:    b[9],
+			Src:      getAddr(b[12:16]),
+			Dst:      getAddr(b[16:20]),
+		},
+		Payload: b[ihl:total],
+	}
+	return p, nil
+}

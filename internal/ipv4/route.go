@@ -1,0 +1,49 @@
+package ipv4
+
+import "sort"
+
+// Route maps a destination prefix to an outgoing interface.
+type Route struct {
+	Dst     Prefix
+	Ifindex int
+}
+
+// RoutingTable performs longest-prefix-match lookups over static routes.
+// The zero value is an empty table.
+type RoutingTable struct {
+	routes []Route
+}
+
+// Add installs a route. Routes are kept sorted by descending prefix length
+// so Lookup returns the most specific match. A route with an identical
+// prefix replaces the earlier one.
+func (t *RoutingTable) Add(r Route) {
+	for i := range t.routes {
+		if t.routes[i].Dst == r.Dst {
+			t.routes[i] = r
+			return
+		}
+	}
+	t.routes = append(t.routes, r)
+	sort.SliceStable(t.routes, func(i, j int) bool {
+		return t.routes[i].Dst.Bits > t.routes[j].Dst.Bits
+	})
+}
+
+// AddDefault installs a 0.0.0.0/0 route out ifindex.
+func (t *RoutingTable) AddDefault(ifindex int) {
+	t.Add(Route{Dst: Prefix{}, Ifindex: ifindex})
+}
+
+// Lookup returns the outgoing interface for dst, or -1 if no route matches.
+func (t *RoutingTable) Lookup(dst Addr) int {
+	for _, r := range t.routes {
+		if r.Dst.Contains(dst) {
+			return r.Ifindex
+		}
+	}
+	return -1
+}
+
+// Len returns the number of installed routes.
+func (t *RoutingTable) Len() int { return len(t.routes) }

@@ -1,0 +1,60 @@
+package ipv4
+
+import "testing"
+
+func TestLongestPrefixMatch(t *testing.T) {
+	var rt RoutingTable
+	rt.AddDefault(0)
+	rt.Add(Route{Dst: MustParsePrefix("10.0.0.0/8"), Ifindex: 1})
+	rt.Add(Route{Dst: MustParsePrefix("10.1.0.0/16"), Ifindex: 2})
+	rt.Add(Route{Dst: MustParsePrefix("10.1.2.3/32"), Ifindex: 3})
+
+	tests := []struct {
+		addr string
+		want int
+	}{
+		{"8.8.8.8", 0},
+		{"10.9.9.9", 1},
+		{"10.1.9.9", 2},
+		{"10.1.2.3", 3},
+	}
+	for _, tt := range tests {
+		if got := rt.Lookup(MustParseAddr(tt.addr)); got != tt.want {
+			t.Errorf("Lookup(%s) = %d, want %d", tt.addr, got, tt.want)
+		}
+	}
+}
+
+func TestNoRoute(t *testing.T) {
+	var rt RoutingTable
+	rt.Add(Route{Dst: MustParsePrefix("10.0.0.0/8"), Ifindex: 1})
+	if got := rt.Lookup(MustParseAddr("11.0.0.1")); got != -1 {
+		t.Errorf("Lookup = %d, want -1", got)
+	}
+}
+
+func TestRouteReplacement(t *testing.T) {
+	var rt RoutingTable
+	rt.Add(Route{Dst: MustParsePrefix("10.0.0.0/8"), Ifindex: 1})
+	rt.Add(Route{Dst: MustParsePrefix("10.0.0.0/8"), Ifindex: 5})
+	if rt.Len() != 1 {
+		t.Fatalf("Len = %d after replacement, want 1", rt.Len())
+	}
+	if got := rt.Lookup(MustParseAddr("10.0.0.1")); got != 5 {
+		t.Errorf("Lookup = %d, want replaced iface 5", got)
+	}
+}
+
+func TestInsertionOrderIrrelevant(t *testing.T) {
+	var a, b RoutingTable
+	r1 := Route{Dst: MustParsePrefix("10.0.0.0/8"), Ifindex: 1}
+	r2 := Route{Dst: MustParsePrefix("10.1.0.0/16"), Ifindex: 2}
+	a.Add(r1)
+	a.Add(r2)
+	b.Add(r2)
+	b.Add(r1)
+	addr := MustParseAddr("10.1.0.1")
+	if a.Lookup(addr) != b.Lookup(addr) {
+		t.Error("lookup depends on insertion order")
+	}
+}

@@ -1,0 +1,279 @@
+package ipv4
+
+import (
+	"errors"
+	"fmt"
+
+	"hydranet/internal/netsim"
+	"hydranet/internal/sim"
+)
+
+// DefaultTTL is the initial TTL on locally originated datagrams.
+const DefaultTTL = 64
+
+// ProtocolHandler is implemented by transport layers (TCP, UDP) and by the
+// IP-in-IP decapsulator to receive locally delivered datagrams.
+type ProtocolHandler interface {
+	DeliverIP(pkt *Packet)
+}
+
+// ErrorReason classifies IP-layer failures reported to the ICMP layer.
+type ErrorReason int
+
+// Reportable failures.
+const (
+	ErrorTTLExceeded ErrorReason = iota + 1
+	ErrorNoRoute
+	ErrorNoListener
+	ErrorFragNeeded
+)
+
+// ErrorReporter receives IP-layer failures together with the offending
+// packet; the ICMP layer turns them into control messages.
+type ErrorReporter func(reason ErrorReason, offending *Packet)
+
+// ForwardHook lets a router component (the HydraNet redirector) inspect and
+// possibly consume packets in the forwarding path. Returning true means the
+// hook took ownership; the stack will not forward the packet further.
+type ForwardHook func(pkt *Packet) bool
+
+// StackStats counts datagram dispositions at one stack.
+type StackStats struct {
+	Delivered   uint64 // datagrams handed to a local protocol handler
+	Forwarded   uint64 // datagrams routed onward
+	Originated  uint64 // datagrams sent from this stack
+	BadHeader   uint64 // unparseable or checksum-failed frames
+	NoRoute     uint64
+	TTLExceeded uint64
+	NoProto     uint64 // delivered locally but no handler for the protocol
+}
+
+// Stack is a per-node IPv4 layer: address ownership, routing, forwarding,
+// fragmentation and reassembly, and protocol demultiplexing.
+type Stack struct {
+	node  *netsim.Node
+	sched *sim.Scheduler
+
+	local      map[Addr]bool // addresses delivered locally (iface + virtual hosts)
+	ifaceAddrs []Addr        // primary address per interface, for source selection
+	routes     RoutingTable
+	protos     map[uint8]ProtocolHandler
+	reasm      *Reassembler
+	nextID     uint16
+	forwarding bool
+	fwdHook    ForwardHook
+	reporter   ErrorReporter
+
+	stats StackStats
+}
+
+var _ netsim.FrameHandler = (*Stack)(nil)
+
+// NewStack creates an IPv4 stack and installs it as the node's frame
+// handler.
+func NewStack(node *netsim.Node, sched *sim.Scheduler) *Stack {
+	s := &Stack{
+		node:   node,
+		sched:  sched,
+		local:  make(map[Addr]bool),
+		protos: make(map[uint8]ProtocolHandler),
+		reasm:  NewReassembler(sched),
+	}
+	node.SetHandler(s)
+	return s
+}
+
+// Node returns the underlying netsim node.
+func (s *Stack) Node() *netsim.Node { return s.node }
+
+// Scheduler returns the scheduler driving this stack.
+func (s *Stack) Scheduler() *sim.Scheduler { return s.sched }
+
+// Stats returns a snapshot of the stack's counters.
+func (s *Stack) Stats() StackStats { return s.stats }
+
+// SetAddr assigns the primary address of interface ifindex and marks it
+// local.
+func (s *Stack) SetAddr(ifindex int, a Addr) {
+	for len(s.ifaceAddrs) <= ifindex {
+		s.ifaceAddrs = append(s.ifaceAddrs, 0)
+	}
+	s.ifaceAddrs[ifindex] = a
+	s.local[a] = true
+}
+
+// Addr returns the primary address of interface ifindex (zero if unset).
+func (s *Stack) Addr(ifindex int) Addr {
+	if ifindex < 0 || ifindex >= len(s.ifaceAddrs) {
+		return 0
+	}
+	return s.ifaceAddrs[ifindex]
+}
+
+// IsInterfaceAddr reports whether a is assigned to one of the stack's
+// interfaces (as opposed to a virtual-host address).
+func (s *Stack) IsInterfaceAddr(a Addr) bool {
+	for _, x := range s.ifaceAddrs {
+		if x == a && a != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// AddLocalAddr marks an address as locally delivered without binding it to
+// an interface. Host servers use this to host virtual hosts: services known
+// to the world under the IP address of another machine (paper Section 3).
+func (s *Stack) AddLocalAddr(a Addr) { s.local[a] = true }
+
+// RemoveLocalAddr withdraws a virtual-host address.
+func (s *Stack) RemoveLocalAddr(a Addr) { delete(s.local, a) }
+
+// IsLocal reports whether the stack delivers datagrams for a locally.
+func (s *Stack) IsLocal(a Addr) bool { return s.local[a] }
+
+// Routes exposes the routing table for topology construction.
+func (s *Stack) Routes() *RoutingTable { return &s.routes }
+
+// SetForwarding enables router behaviour for non-local datagrams.
+func (s *Stack) SetForwarding(on bool) { s.forwarding = on }
+
+// SetForwardHook installs the redirector intercept in the forwarding path.
+func (s *Stack) SetForwardHook(h ForwardHook) { s.fwdHook = h }
+
+// SetErrorReporter installs the ICMP layer's failure observer.
+func (s *Stack) SetErrorReporter(fn ErrorReporter) { s.reporter = fn }
+
+// ReportError lets transport layers report delivery failures (e.g. UDP
+// port unreachable) into the same channel as IP-layer failures.
+func (s *Stack) ReportError(reason ErrorReason, offending *Packet) {
+	if s.reporter != nil {
+		s.reporter(reason, offending)
+	}
+}
+
+// RegisterProto installs the handler for an IP protocol number.
+func (s *Stack) RegisterProto(proto uint8, h ProtocolHandler) {
+	s.protos[proto] = h
+}
+
+// Send originates a datagram. A zero src selects the address of the
+// outgoing interface. The payload is not copied; callers must not reuse it.
+func (s *Stack) Send(proto uint8, src, dst Addr, payload []byte) error {
+	p := &Packet{
+		Header:  Header{TTL: DefaultTTL, Proto: proto, Src: src, Dst: dst, ID: s.allocID()},
+		Payload: payload,
+	}
+	if s.local[dst] {
+		// Loopback: deliver asynchronously so protocol code never
+		// reenters itself within one call stack.
+		s.stats.Originated++
+		s.sched.After(0, func() {
+			if s.node.Alive() {
+				s.deliverLocal(p)
+			}
+		})
+		return nil
+	}
+	ifindex := s.routes.Lookup(dst)
+	if ifindex < 0 {
+		s.stats.NoRoute++
+		return fmt.Errorf("ipv4: no route to %s", dst)
+	}
+	if p.Src == 0 {
+		p.Src = s.Addr(ifindex)
+	}
+	s.stats.Originated++
+	return s.transmit(p, ifindex)
+}
+
+// SendPacket routes and transmits a fully formed datagram (used for
+// forwarding and for tunneled packets built by the redirector).
+func (s *Stack) SendPacket(p *Packet) error {
+	ifindex := s.routes.Lookup(p.Dst)
+	if ifindex < 0 {
+		s.stats.NoRoute++
+		return fmt.Errorf("ipv4: no route to %s", p.Dst)
+	}
+	return s.transmit(p, ifindex)
+}
+
+// AllocID returns a fresh IP identification value for datagrams the caller
+// marshals itself (tunnel encapsulation).
+func (s *Stack) AllocID() uint16 { return s.allocID() }
+
+func (s *Stack) allocID() uint16 {
+	s.nextID++
+	return s.nextID
+}
+
+func (s *Stack) transmit(p *Packet, ifindex int) error {
+	mtu := s.node.MTU(ifindex)
+	frags, err := Fragment(p, mtu)
+	if err != nil {
+		return err
+	}
+	for _, f := range frags {
+		b, err := f.Marshal()
+		if err != nil {
+			return err
+		}
+		s.node.Send(ifindex, b)
+	}
+	return nil
+}
+
+// HandleFrame implements netsim.FrameHandler.
+func (s *Stack) HandleFrame(ifindex int, frame []byte) {
+	p, err := Unmarshal(frame)
+	if err != nil {
+		s.stats.BadHeader++
+		return
+	}
+	if s.local[p.Dst] || p.Dst == Broadcast {
+		if whole := s.reasm.Add(p); whole != nil {
+			s.deliverLocal(whole)
+		}
+		return
+	}
+	if !s.forwarding {
+		return
+	}
+	if p.TTL <= 1 {
+		s.stats.TTLExceeded++
+		s.ReportError(ErrorTTLExceeded, p)
+		return
+	}
+	p.TTL--
+	if s.fwdHook != nil && s.fwdHook(p) {
+		return
+	}
+	s.stats.Forwarded++
+	if err := s.SendPacket(p); err != nil {
+		// ICMP reports the failure to the source; the packet is dropped.
+		reason := ErrorNoRoute
+		if errors.Is(err, ErrFragNeeded) {
+			reason = ErrorFragNeeded
+		}
+		s.ReportError(reason, p)
+	}
+}
+
+// InjectLocal delivers an already-parsed datagram to local protocol
+// handlers, bypassing routing. The host server's IP-in-IP decapsulator uses
+// this for inner packets addressed to virtual hosts.
+func (s *Stack) InjectLocal(p *Packet) {
+	if whole := s.reasm.Add(p); whole != nil {
+		s.deliverLocal(whole)
+	}
+}
+
+func (s *Stack) deliverLocal(p *Packet) {
+	h := s.protos[p.Proto]
+	if h == nil {
+		s.stats.NoProto++
+		return
+	}
+	s.stats.Delivered++
+	h.DeliverIP(p)
+}

@@ -1,0 +1,278 @@
+package ipv4
+
+import (
+	"testing"
+	"time"
+
+	"hydranet/internal/netsim"
+	"hydranet/internal/sim"
+)
+
+type sink struct {
+	pkts []*Packet
+}
+
+func (s *sink) DeliverIP(p *Packet) { s.pkts = append(s.pkts, p) }
+
+// threeNodeNet builds client — router — server with /24s on each side.
+func threeNodeNet(t *testing.T, link netsim.LinkConfig) (sched *sim.Scheduler, cs, rs, ss *Stack) {
+	t.Helper()
+	sched = sim.NewScheduler(3)
+	net := netsim.New(sched)
+	c := net.AddNode(netsim.NodeConfig{Name: "client"})
+	r := net.AddNode(netsim.NodeConfig{Name: "router"})
+	sv := net.AddNode(netsim.NodeConfig{Name: "server"})
+	net.Connect(c, r, link)
+	net.Connect(r, sv, link)
+
+	cs = NewStack(c, sched)
+	rs = NewStack(r, sched)
+	ss = NewStack(sv, sched)
+
+	cs.SetAddr(0, MustParseAddr("10.1.0.2"))
+	rs.SetAddr(0, MustParseAddr("10.1.0.1"))
+	rs.SetAddr(1, MustParseAddr("10.2.0.1"))
+	ss.SetAddr(0, MustParseAddr("10.2.0.2"))
+
+	cs.Routes().AddDefault(0)
+	ss.Routes().AddDefault(0)
+	rs.Routes().Add(Route{Dst: MustParsePrefix("10.1.0.0/24"), Ifindex: 0})
+	rs.Routes().Add(Route{Dst: MustParsePrefix("10.2.0.0/24"), Ifindex: 1})
+	rs.SetForwarding(true)
+	return sched, cs, rs, ss
+}
+
+func TestEndToEndDelivery(t *testing.T) {
+	sched, cs, _, ss := threeNodeNet(t, netsim.LinkConfig{})
+	recv := &sink{}
+	ss.RegisterProto(ProtoUDP, recv)
+	if err := cs.Send(ProtoUDP, 0, MustParseAddr("10.2.0.2"), []byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	sched.Run()
+	if len(recv.pkts) != 1 {
+		t.Fatalf("delivered %d packets, want 1", len(recv.pkts))
+	}
+	p := recv.pkts[0]
+	if p.Src != MustParseAddr("10.1.0.2") {
+		t.Errorf("src = %s, want auto-selected 10.1.0.2", p.Src)
+	}
+	if string(p.Payload) != "ping" {
+		t.Errorf("payload %q", p.Payload)
+	}
+	if p.TTL != DefaultTTL-1 {
+		t.Errorf("TTL = %d, want %d after one hop", p.TTL, DefaultTTL-1)
+	}
+}
+
+func TestForwardingDisabledDropsTransit(t *testing.T) {
+	sched, cs, rs, ss := threeNodeNet(t, netsim.LinkConfig{})
+	rs.SetForwarding(false)
+	recv := &sink{}
+	ss.RegisterProto(ProtoUDP, recv)
+	_ = cs.Send(ProtoUDP, 0, MustParseAddr("10.2.0.2"), []byte("x"))
+	sched.Run()
+	if len(recv.pkts) != 0 {
+		t.Fatal("packet crossed a non-forwarding node")
+	}
+}
+
+func TestLoopbackDelivery(t *testing.T) {
+	sched, cs, _, _ := threeNodeNet(t, netsim.LinkConfig{})
+	recv := &sink{}
+	cs.RegisterProto(ProtoUDP, recv)
+	if err := cs.Send(ProtoUDP, 0, MustParseAddr("10.1.0.2"), []byte("self")); err != nil {
+		t.Fatal(err)
+	}
+	sched.Run()
+	if len(recv.pkts) != 1 || string(recv.pkts[0].Payload) != "self" {
+		t.Fatal("loopback delivery failed")
+	}
+}
+
+func TestNoRouteError(t *testing.T) {
+	sched := sim.NewScheduler(1)
+	net := netsim.New(sched)
+	n := net.AddNode(netsim.NodeConfig{Name: "lonely"})
+	s := NewStack(n, sched)
+	if err := s.Send(ProtoUDP, 0, MustParseAddr("1.2.3.4"), nil); err == nil {
+		t.Fatal("Send with no route succeeded")
+	}
+	if s.Stats().NoRoute != 1 {
+		t.Errorf("NoRoute = %d, want 1", s.Stats().NoRoute)
+	}
+}
+
+func TestTTLExpiry(t *testing.T) {
+	// Chain of routers longer than the TTL: packet must die en route.
+	sched := sim.NewScheduler(1)
+	net := netsim.New(sched)
+	const hops = 5
+	nodes := make([]*netsim.Node, hops+2)
+	stacks := make([]*Stack, hops+2)
+	for i := range nodes {
+		nodes[i] = net.AddNode(netsim.NodeConfig{})
+		stacks[i] = NewStack(nodes[i], sched)
+	}
+	for i := 0; i < len(nodes)-1; i++ {
+		net.Connect(nodes[i], nodes[i+1], netsim.LinkConfig{})
+	}
+	dstAddr := MustParseAddr("10.9.0.1")
+	for i, s := range stacks {
+		s.SetForwarding(true)
+		if i < len(nodes)-1 {
+			// Everyone routes "forward" along the chain; node 0's iface 0
+			// points at node 1, middle nodes' iface 1 points onward.
+			out := 0
+			if i > 0 {
+				out = 1
+			}
+			s.Routes().AddDefault(out)
+		}
+	}
+	stacks[len(stacks)-1].SetAddr(0, dstAddr)
+	recv := &sink{}
+	stacks[len(stacks)-1].RegisterProto(ProtoUDP, recv)
+
+	// Forge a packet with TTL 3, fewer than the 6 hops needed.
+	p := &Packet{Header: Header{TTL: 3, Proto: ProtoUDP, Src: 1, Dst: dstAddr, ID: 7}, Payload: []byte("doomed")}
+	if err := stacks[0].SendPacket(p); err != nil {
+		t.Fatal(err)
+	}
+	sched.Run()
+	if len(recv.pkts) != 0 {
+		t.Fatal("packet survived past its TTL")
+	}
+	var expired uint64
+	for _, s := range stacks {
+		expired += s.Stats().TTLExceeded
+	}
+	if expired != 1 {
+		t.Errorf("TTLExceeded total = %d, want 1", expired)
+	}
+}
+
+func TestPathMTUFragmentationEndToEnd(t *testing.T) {
+	// Second hop has a smaller MTU; the router must fragment and the
+	// destination must reassemble.
+	sched := sim.NewScheduler(1)
+	net := netsim.New(sched)
+	c := net.AddNode(netsim.NodeConfig{Name: "c"})
+	r := net.AddNode(netsim.NodeConfig{Name: "r"})
+	sv := net.AddNode(netsim.NodeConfig{Name: "s"})
+	net.Connect(c, r, netsim.LinkConfig{MTU: 1500})
+	net.Connect(r, sv, netsim.LinkConfig{MTU: 576})
+	cs, rs, ss := NewStack(c, sched), NewStack(r, sched), NewStack(sv, sched)
+	cs.SetAddr(0, MustParseAddr("10.1.0.2"))
+	rs.SetAddr(0, MustParseAddr("10.1.0.1"))
+	rs.SetAddr(1, MustParseAddr("10.2.0.1"))
+	ss.SetAddr(0, MustParseAddr("10.2.0.2"))
+	cs.Routes().AddDefault(0)
+	rs.Routes().Add(Route{Dst: MustParsePrefix("10.2.0.0/24"), Ifindex: 1})
+	rs.Routes().Add(Route{Dst: MustParsePrefix("10.1.0.0/24"), Ifindex: 0})
+	rs.SetForwarding(true)
+	recv := &sink{}
+	ss.RegisterProto(ProtoUDP, recv)
+
+	payload := make([]byte, 1400)
+	for i := range payload {
+		payload[i] = byte(i * 7)
+	}
+	if err := cs.Send(ProtoUDP, 0, MustParseAddr("10.2.0.2"), payload); err != nil {
+		t.Fatal(err)
+	}
+	sched.Run()
+	if len(recv.pkts) != 1 {
+		t.Fatalf("delivered %d datagrams, want 1 reassembled", len(recv.pkts))
+	}
+	got := recv.pkts[0].Payload
+	if len(got) != len(payload) {
+		t.Fatalf("payload length %d, want %d", len(got), len(payload))
+	}
+	for i := range got {
+		if got[i] != payload[i] {
+			t.Fatalf("payload corrupted at %d", i)
+		}
+	}
+}
+
+func TestForwardHookConsumes(t *testing.T) {
+	sched, cs, rs, ss := threeNodeNet(t, netsim.LinkConfig{})
+	recv := &sink{}
+	ss.RegisterProto(ProtoUDP, recv)
+	var hooked []*Packet
+	rs.SetForwardHook(func(p *Packet) bool {
+		if p.Proto == ProtoUDP {
+			hooked = append(hooked, p)
+			return true
+		}
+		return false
+	})
+	_ = cs.Send(ProtoUDP, 0, MustParseAddr("10.2.0.2"), []byte("grab"))
+	sched.Run()
+	if len(hooked) != 1 {
+		t.Fatalf("hook saw %d packets, want 1", len(hooked))
+	}
+	if len(recv.pkts) != 0 {
+		t.Fatal("consumed packet was still forwarded")
+	}
+}
+
+func TestVirtualHostLocalDelivery(t *testing.T) {
+	// AddLocalAddr makes the stack accept packets for a foreign address —
+	// the basis of HydraNet virtual hosts.
+	sched, cs, rs, _ := threeNodeNet(t, netsim.LinkConfig{})
+	vhost := MustParseAddr("192.20.225.20")
+	recv := &sink{}
+	rs.AddLocalAddr(vhost)
+	rs.RegisterProto(ProtoUDP, recv)
+	_ = cs.Send(ProtoUDP, 0, vhost, []byte("to vhost"))
+	sched.Run()
+	if len(recv.pkts) != 1 {
+		t.Fatal("virtual-host address not delivered locally")
+	}
+	rs.RemoveLocalAddr(vhost)
+	if rs.IsLocal(vhost) {
+		t.Fatal("RemoveLocalAddr did not withdraw address")
+	}
+}
+
+func TestCrashedNodeDeliversNothing(t *testing.T) {
+	sched, cs, _, ss := threeNodeNet(t, netsim.LinkConfig{Delay: time.Millisecond})
+	recv := &sink{}
+	ss.RegisterProto(ProtoUDP, recv)
+	ss.Node().Crash()
+	_ = cs.Send(ProtoUDP, 0, MustParseAddr("10.2.0.2"), []byte("x"))
+	sched.Run()
+	if len(recv.pkts) != 0 {
+		t.Fatal("crashed server received a packet")
+	}
+}
+
+func TestStatsCounting(t *testing.T) {
+	sched, cs, rs, ss := threeNodeNet(t, netsim.LinkConfig{})
+	recv := &sink{}
+	ss.RegisterProto(ProtoUDP, recv)
+	for i := 0; i < 3; i++ {
+		_ = cs.Send(ProtoUDP, 0, MustParseAddr("10.2.0.2"), []byte{byte(i)})
+	}
+	sched.Run()
+	if got := rs.Stats().Forwarded; got != 3 {
+		t.Errorf("router Forwarded = %d, want 3", got)
+	}
+	if got := ss.Stats().Delivered; got != 3 {
+		t.Errorf("server Delivered = %d, want 3", got)
+	}
+	if got := cs.Stats().Originated; got != 3 {
+		t.Errorf("client Originated = %d, want 3", got)
+	}
+}
+
+func TestNoProtoHandlerCounted(t *testing.T) {
+	sched, cs, _, ss := threeNodeNet(t, netsim.LinkConfig{})
+	_ = cs.Send(ProtoTCP, 0, MustParseAddr("10.2.0.2"), []byte("?"))
+	sched.Run()
+	if got := ss.Stats().NoProto; got != 1 {
+		t.Errorf("NoProto = %d, want 1", got)
+	}
+}

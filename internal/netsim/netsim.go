@@ -1,0 +1,288 @@
+// Package netsim models the physical network fabric: nodes with a shared
+// CPU, and duplex links with finite rate, propagation delay, MTU, drop-tail
+// queues, and optional random loss.
+//
+// Frames are opaque byte slices; the IP layer above is responsible for all
+// header interpretation. Every cost in the model is charged in virtual time
+// on the simulation scheduler, so a node with a slow CPU (the paper's 486
+// redirector) becomes a bottleneck exactly as it would on the testbed.
+package netsim
+
+import (
+	"fmt"
+	"time"
+
+	"hydranet/internal/sim"
+)
+
+// FrameHandler receives frames delivered to a node, tagged with the index
+// of the interface they arrived on.
+type FrameHandler interface {
+	HandleFrame(ifindex int, frame []byte)
+}
+
+// Network is a collection of nodes and links sharing one scheduler.
+type Network struct {
+	sched *sim.Scheduler
+	nodes []*Node
+	links []*Link
+}
+
+// New returns an empty network driven by the given scheduler.
+func New(sched *sim.Scheduler) *Network {
+	return &Network{sched: sched}
+}
+
+// Scheduler returns the scheduler driving this network.
+func (n *Network) Scheduler() *sim.Scheduler { return n.sched }
+
+// Nodes returns the nodes added so far, in creation order.
+func (n *Network) Nodes() []*Node { return append([]*Node(nil), n.nodes...) }
+
+// NodeConfig describes a node's processing characteristics.
+type NodeConfig struct {
+	// Name identifies the node in traces and errors.
+	Name string
+	// ProcDelay is the CPU cost charged per frame, on both transmit and
+	// receive. The node's CPU is a serial resource: frames queue behind
+	// each other, which is what makes slow hosts bottlenecks.
+	ProcDelay time.Duration
+	// ProcPerByte is an additional CPU cost per frame byte, modelling
+	// copy and checksum costs that scale with packet size (dominant on
+	// the paper's 486-class machines).
+	ProcPerByte time.Duration
+}
+
+// AddNode creates a node in the network.
+func (n *Network) AddNode(cfg NodeConfig) *Node {
+	node := &Node{
+		net:         n,
+		name:        cfg.Name,
+		procDelay:   cfg.ProcDelay,
+		procPerByte: cfg.ProcPerByte,
+		alive:       true,
+	}
+	n.nodes = append(n.nodes, node)
+	return node
+}
+
+// LinkConfig describes one duplex link.
+type LinkConfig struct {
+	// Rate is the transmission rate in bits per second. Zero means
+	// infinitely fast (no serialization delay).
+	Rate int64
+	// Delay is the one-way propagation delay.
+	Delay time.Duration
+	// MTU is the maximum frame size in bytes. Larger frames are dropped;
+	// the IP layer must fragment. Zero means 1500.
+	MTU int
+	// QueueBytes bounds the per-direction transmit backlog (drop-tail).
+	// Zero means 64 KiB.
+	QueueBytes int
+	// Loss is the independent probability in [0,1] that a frame is lost.
+	Loss float64
+	// Jitter adds a uniformly random extra propagation delay in
+	// [0, Jitter] per frame. Frames with different jitter can overtake
+	// each other, producing out-of-order delivery.
+	Jitter time.Duration
+}
+
+const (
+	defaultMTU   = 1500
+	defaultQueue = 64 * 1024
+)
+
+// Connect joins two nodes with a duplex link and returns it. Each endpoint
+// gains a new interface; the interface indices are returned in node order.
+func (n *Network) Connect(a, b *Node, cfg LinkConfig) *Link {
+	if cfg.MTU == 0 {
+		cfg.MTU = defaultMTU
+	}
+	if cfg.QueueBytes == 0 {
+		cfg.QueueBytes = defaultQueue
+	}
+	l := &Link{net: n, cfg: cfg}
+	l.ends[0] = endpoint{node: a, ifindex: len(a.ifaces)}
+	l.ends[1] = endpoint{node: b, ifindex: len(b.ifaces)}
+	a.ifaces = append(a.ifaces, iface{link: l, side: 0})
+	b.ifaces = append(b.ifaces, iface{link: l, side: 1})
+	n.links = append(n.links, l)
+	return l
+}
+
+// Node is a host or router with a serial CPU and a set of interfaces.
+type Node struct {
+	net         *Network
+	name        string
+	procDelay   time.Duration
+	procPerByte time.Duration
+	ifaces      []iface
+	handler     FrameHandler
+	alive       bool
+	cpuFree     time.Duration // virtual time the CPU becomes idle
+
+	// Stats
+	sent, received, dropped uint64
+}
+
+type iface struct {
+	link *Link
+	side int
+}
+
+// Name returns the node's configured name.
+func (nd *Node) Name() string { return nd.name }
+
+// NumInterfaces returns how many links are attached.
+func (nd *Node) NumInterfaces() int { return len(nd.ifaces) }
+
+// SetHandler installs the frame sink (normally the node's IP stack).
+func (nd *Node) SetHandler(h FrameHandler) { nd.handler = h }
+
+// Alive reports whether the node is running.
+func (nd *Node) Alive() bool { return nd.alive }
+
+// Crash fail-stops the node: it silently discards all traffic and performs
+// no further processing, matching the fail-stop model in the paper.
+func (nd *Node) Crash() { nd.alive = false }
+
+// Restart brings a crashed node back (higher layers must re-register state).
+func (nd *Node) Restart() { nd.alive = true }
+
+// Stats returns cumulative frames sent, received and dropped at this node.
+func (nd *Node) Stats() (sent, received, dropped uint64) {
+	return nd.sent, nd.received, nd.dropped
+}
+
+// MTU returns the MTU of the link on interface ifindex.
+func (nd *Node) MTU(ifindex int) int {
+	return nd.ifaces[ifindex].link.cfg.MTU
+}
+
+// Peer returns the node on the far side of interface ifindex.
+func (nd *Node) Peer(ifindex int) *Node {
+	ifc := nd.ifaces[ifindex]
+	return ifc.link.ends[1-ifc.side].node
+}
+
+// Send transmits a frame out interface ifindex. The frame is charged the
+// node's CPU cost, then the link's queueing, serialization and propagation
+// delays. Oversized frames and frames sent by a crashed node are dropped.
+func (nd *Node) Send(ifindex int, frame []byte) {
+	if !nd.alive {
+		return
+	}
+	if ifindex < 0 || ifindex >= len(nd.ifaces) {
+		panic(fmt.Sprintf("netsim: node %q has no interface %d", nd.name, ifindex))
+	}
+	ifc := nd.ifaces[ifindex]
+	if len(frame) > ifc.link.cfg.MTU {
+		nd.dropped++
+		return
+	}
+	nd.sent++
+	nd.cpu(len(frame), func() {
+		ifc.link.transmit(ifc.side, frame)
+	})
+}
+
+// cpu runs fn after the node's serial CPU has spent the frame's processing
+// cost (fixed plus per-byte).
+func (nd *Node) cpu(size int, fn func()) {
+	s := nd.net.sched
+	start := s.Now()
+	if nd.cpuFree > start {
+		start = nd.cpuFree
+	}
+	nd.cpuFree = start + nd.procDelay + time.Duration(size)*nd.procPerByte
+	s.At(nd.cpuFree, func() {
+		if nd.alive {
+			fn()
+		}
+	})
+}
+
+// deliver is called by a link when a frame arrives at this node.
+func (nd *Node) deliver(ifindex int, frame []byte) {
+	if !nd.alive {
+		return
+	}
+	nd.cpu(len(frame), func() {
+		nd.received++
+		if nd.handler != nil {
+			nd.handler.HandleFrame(ifindex, frame)
+		}
+	})
+}
+
+type endpoint struct {
+	node    *Node
+	ifindex int
+}
+
+// Link is a duplex point-to-point link. Each direction has an independent
+// transmitter and drop-tail queue.
+type Link struct {
+	net  *Network
+	cfg  LinkConfig
+	ends [2]endpoint
+
+	txFree  [2]time.Duration // when the direction's transmitter frees up
+	backlog [2]int           // queued bytes per direction
+
+	// Stats per direction (index = sending side).
+	txFrames  [2]uint64
+	lost      [2]uint64
+	queueDrop [2]uint64
+}
+
+// Config returns the link's configuration.
+func (l *Link) Config() LinkConfig { return l.cfg }
+
+// SetLoss changes the link's random loss probability (both directions).
+func (l *Link) SetLoss(p float64) { l.cfg.Loss = p }
+
+// Stats returns, per direction, frames transmitted, frames lost to random
+// loss, and frames dropped at the queue.
+func (l *Link) Stats() (tx, lost, queueDrop [2]uint64) {
+	return l.txFrames, l.lost, l.queueDrop
+}
+
+func (l *Link) serialization(size int) time.Duration {
+	if l.cfg.Rate <= 0 {
+		return 0
+	}
+	bits := int64(size) * 8
+	return time.Duration(bits * int64(time.Second) / l.cfg.Rate)
+}
+
+// transmit queues a frame for transmission from the given side.
+func (l *Link) transmit(side int, frame []byte) {
+	s := l.net.sched
+	size := len(frame)
+	if l.backlog[side]+size > l.cfg.QueueBytes {
+		l.queueDrop[side]++
+		return
+	}
+	if l.cfg.Loss > 0 && s.Rand().Float64() < l.cfg.Loss {
+		l.lost[side]++
+		return
+	}
+	l.backlog[side] += size
+	start := s.Now()
+	if l.txFree[side] > start {
+		start = l.txFree[side]
+	}
+	done := start + l.serialization(size)
+	l.txFree[side] = done
+	dst := l.ends[1-side]
+	l.txFrames[side]++
+	// The frame leaves the transmit queue once serialized; propagation
+	// happens "on the wire" and does not hold queue space.
+	s.At(done, func() { l.backlog[side] -= size })
+	arrive := done + l.cfg.Delay
+	if l.cfg.Jitter > 0 {
+		arrive += time.Duration(s.Rand().Int63n(int64(l.cfg.Jitter) + 1))
+	}
+	s.At(arrive, func() { dst.node.deliver(dst.ifindex, frame) })
+}

@@ -1,0 +1,251 @@
+// Package redirector implements HydraNet redirectors: routers that
+// intercept packets destined to replicated services and tunnel them to host
+// servers with IP-in-IP encapsulation (paper Sections 3 and 4.2).
+//
+// For plainly replicated (scaling) services the redirector forwards each
+// packet to the nearest host server running a replica. For fault-tolerant
+// services it performs a simple non-reliable multicast: one copy to the
+// primary and one to each backup. Redirectors take no part in reliable
+// delivery — that is the ft-TCP machinery on the host servers.
+package redirector
+
+import (
+	"fmt"
+	"sort"
+
+	"hydranet/internal/ipv4"
+)
+
+// ServiceKey identifies a redirected transport-level service access point.
+type ServiceKey struct {
+	Addr ipv4.Addr
+	Port uint16
+}
+
+// String renders addr:port.
+func (k ServiceKey) String() string { return fmt.Sprintf("%s:%d", k.Addr, k.Port) }
+
+// Target is one host server running a replica, with a routing metric used
+// for nearest-replica selection in scaling mode.
+type Target struct {
+	Host   ipv4.Addr
+	Metric int
+}
+
+// Entry is one redirector-table row.
+type Entry struct {
+	// FT selects fault-tolerant multicast mode; otherwise scaling mode.
+	FT bool
+	// Primary and Backups are the FT replica set, in chain order
+	// S0 (primary) first.
+	Primary ipv4.Addr
+	Backups []ipv4.Addr
+	// Targets are the scaling-mode replicas.
+	Targets []Target
+}
+
+// replicas returns every host the entry redirects to in FT mode.
+func (e *Entry) replicas() []ipv4.Addr {
+	out := make([]ipv4.Addr, 0, 1+len(e.Backups))
+	if e.Primary != 0 {
+		out = append(out, e.Primary)
+	}
+	return append(out, e.Backups...)
+}
+
+// Stats counts redirector activity.
+type Stats struct {
+	Redirected      uint64 // packets matched and tunneled (scaling mode)
+	Multicast       uint64 // packets matched in FT mode
+	MulticastCopies uint64 // tunnel copies emitted in FT mode
+	PassedThrough   uint64 // packets inspected but not matched
+	TunnelErrors    uint64 // copies dropped for lack of a route
+}
+
+// Redirector attaches to a forwarding IP stack and owns its redirector
+// table.
+type Redirector struct {
+	ip    *ipv4.Stack
+	table map[ServiceKey]*Entry
+	stats Stats
+}
+
+// New installs a redirector on the given stack. The stack must have
+// forwarding enabled to see transit traffic.
+func New(ip *ipv4.Stack) *Redirector {
+	r := &Redirector{ip: ip, table: make(map[ServiceKey]*Entry)}
+	ip.SetForwardHook(r.intercept)
+	return r
+}
+
+// IP returns the stack the redirector is attached to.
+func (r *Redirector) IP() *ipv4.Stack { return r.ip }
+
+// Stats returns a snapshot of activity counters.
+func (r *Redirector) Stats() Stats { return r.stats }
+
+// Install adds or replaces a table entry.
+func (r *Redirector) Install(key ServiceKey, e *Entry) {
+	r.table[key] = e
+}
+
+// Remove deletes a table entry.
+func (r *Redirector) Remove(key ServiceKey) {
+	delete(r.table, key)
+}
+
+// Lookup returns the entry for key, or nil.
+func (r *Redirector) Lookup(key ServiceKey) *Entry {
+	return r.table[key]
+}
+
+// Services lists the installed service keys (sorted, for stable output).
+func (r *Redirector) Services() []ServiceKey {
+	out := make([]ServiceKey, 0, len(r.table))
+	for k := range r.table {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Addr != out[j].Addr {
+			return out[i].Addr < out[j].Addr
+		}
+		return out[i].Port < out[j].Port
+	})
+	return out
+}
+
+// AddTarget adds a scaling-mode replica for key, creating the entry if
+// needed.
+func (r *Redirector) AddTarget(key ServiceKey, t Target) {
+	e := r.table[key]
+	if e == nil {
+		e = &Entry{}
+		r.table[key] = e
+	}
+	e.Targets = append(e.Targets, t)
+}
+
+// SetFTReplicas installs or updates the FT replica set for key, primary
+// first.
+func (r *Redirector) SetFTReplicas(key ServiceKey, primary ipv4.Addr, backups []ipv4.Addr) {
+	e := r.table[key]
+	if e == nil {
+		e = &Entry{}
+		r.table[key] = e
+	}
+	e.FT = true
+	e.Primary = primary
+	e.Backups = append([]ipv4.Addr(nil), backups...)
+}
+
+// RemoveTarget removes a scaling-mode replica for key (voluntary leave).
+func (r *Redirector) RemoveTarget(key ServiceKey, host ipv4.Addr) {
+	e := r.table[key]
+	if e == nil {
+		return
+	}
+	for i, t := range e.Targets {
+		if t.Host == host {
+			e.Targets = append(e.Targets[:i], e.Targets[i+1:]...)
+			break
+		}
+	}
+	if !e.FT && len(e.Targets) == 0 {
+		delete(r.table, key)
+	}
+}
+
+// RemoveReplica removes a failed host from an FT entry. If the primary was
+// removed, the first backup is promoted in the table. It returns the new
+// primary (zero if the entry emptied out).
+func (r *Redirector) RemoveReplica(key ServiceKey, host ipv4.Addr) ipv4.Addr {
+	e := r.table[key]
+	if e == nil || !e.FT {
+		return 0
+	}
+	if e.Primary == host {
+		if len(e.Backups) == 0 {
+			e.Primary = 0
+			return 0
+		}
+		e.Primary = e.Backups[0]
+		e.Backups = append([]ipv4.Addr(nil), e.Backups[1:]...)
+		return e.Primary
+	}
+	for i, b := range e.Backups {
+		if b == host {
+			e.Backups = append(e.Backups[:i], e.Backups[i+1:]...)
+			break
+		}
+	}
+	return e.Primary
+}
+
+// intercept is the forward-path hook: it inspects transit packets and
+// consumes those matching the redirector table.
+func (r *Redirector) intercept(p *ipv4.Packet) bool {
+	// Ports live in the first 4 bytes of the transport header; only
+	// first fragments carry them. TCP segments never exceed the MSS in
+	// this stack, so in practice inner packets arrive unfragmented.
+	if p.Proto != ipv4.ProtoTCP && p.Proto != ipv4.ProtoUDP {
+		return false
+	}
+	if p.FragOff != 0 || len(p.Payload) < 4 {
+		return false
+	}
+	dstPort := uint16(p.Payload[2])<<8 | uint16(p.Payload[3])
+	e := r.table[ServiceKey{Addr: p.Dst, Port: dstPort}]
+	if e == nil {
+		r.stats.PassedThrough++
+		return false
+	}
+	if e.FT {
+		r.stats.Multicast++
+		for _, host := range e.replicas() {
+			r.tunnel(p, host)
+			r.stats.MulticastCopies++
+		}
+		return true
+	}
+	if t := nearest(e.Targets); t != nil {
+		r.stats.Redirected++
+		r.tunnel(p, t.Host)
+		return true
+	}
+	r.stats.PassedThrough++
+	return false
+}
+
+func nearest(targets []Target) *Target {
+	var best *Target
+	for i := range targets {
+		if best == nil || targets[i].Metric < best.Metric {
+			best = &targets[i]
+		}
+	}
+	return best
+}
+
+// tunnel wraps the packet in IP-in-IP and routes it to the host server.
+func (r *Redirector) tunnel(inner *ipv4.Packet, host ipv4.Addr) {
+	body, err := inner.Marshal()
+	if err != nil {
+		r.stats.TunnelErrors++
+		return
+	}
+	outer := &ipv4.Packet{
+		Header: ipv4.Header{
+			TTL:   ipv4.DefaultTTL,
+			Proto: ipv4.ProtoIPIP,
+			Dst:   host,
+			ID:    r.ip.AllocID(),
+		},
+		Payload: body,
+	}
+	if ifindex := r.ip.Routes().Lookup(host); ifindex >= 0 {
+		outer.Src = r.ip.Addr(ifindex)
+	}
+	if err := r.ip.SendPacket(outer); err != nil {
+		r.stats.TunnelErrors++
+	}
+}

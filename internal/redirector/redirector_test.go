@@ -1,0 +1,199 @@
+package redirector
+
+import (
+	"testing"
+	"time"
+
+	"hydranet/internal/ipv4"
+	"hydranet/internal/netsim"
+	"hydranet/internal/sim"
+)
+
+type ipipSink struct {
+	inner []*ipv4.Packet
+	outer []*ipv4.Packet
+	ip    *ipv4.Stack
+}
+
+func (s *ipipSink) DeliverIP(p *ipv4.Packet) {
+	s.outer = append(s.outer, p)
+	if in, err := ipv4.Unmarshal(p.Payload); err == nil {
+		s.inner = append(s.inner, in)
+	}
+}
+
+// rig builds: client — rd — {h1, h2} and returns the pieces. h1/h2 record
+// tunneled packets.
+func rig(t *testing.T) (*sim.Scheduler, *ipv4.Stack, *Redirector, *ipipSink, *ipipSink, [2]ipv4.Addr) {
+	t.Helper()
+	sched := sim.NewScheduler(41)
+	nw := netsim.New(sched)
+	cl := nw.AddNode(netsim.NodeConfig{Name: "client"})
+	rt := nw.AddNode(netsim.NodeConfig{Name: "rd"})
+	h1 := nw.AddNode(netsim.NodeConfig{Name: "h1"})
+	h2 := nw.AddNode(netsim.NodeConfig{Name: "h2"})
+	link := netsim.LinkConfig{Delay: time.Millisecond}
+	nw.Connect(cl, rt, link)
+	nw.Connect(h1, rt, link)
+	nw.Connect(h2, rt, link)
+
+	cs := ipv4.NewStack(cl, sched)
+	rs := ipv4.NewStack(rt, sched)
+	s1 := ipv4.NewStack(h1, sched)
+	s2 := ipv4.NewStack(h2, sched)
+
+	cs.SetAddr(0, ipv4.MustParseAddr("10.1.0.2"))
+	rs.SetAddr(0, ipv4.MustParseAddr("10.1.0.1"))
+	rs.SetAddr(1, ipv4.MustParseAddr("10.2.0.1"))
+	rs.SetAddr(2, ipv4.MustParseAddr("10.3.0.1"))
+	a1, a2 := ipv4.MustParseAddr("10.2.0.2"), ipv4.MustParseAddr("10.3.0.2")
+	s1.SetAddr(0, a1)
+	s2.SetAddr(0, a2)
+
+	cs.Routes().AddDefault(0)
+	s1.Routes().AddDefault(0)
+	s2.Routes().AddDefault(0)
+	rs.Routes().Add(ipv4.Route{Dst: ipv4.MustParsePrefix("10.1.0.0/24"), Ifindex: 0})
+	rs.Routes().Add(ipv4.Route{Dst: ipv4.MustParsePrefix("10.2.0.0/24"), Ifindex: 1})
+	rs.Routes().Add(ipv4.Route{Dst: ipv4.MustParsePrefix("10.3.0.0/24"), Ifindex: 2})
+	rs.SetForwarding(true)
+
+	rd := New(rs)
+	k1, k2 := &ipipSink{ip: s1}, &ipipSink{ip: s2}
+	s1.RegisterProto(ipv4.ProtoIPIP, k1)
+	s2.RegisterProto(ipv4.ProtoIPIP, k2)
+	return sched, cs, rd, k1, k2, [2]ipv4.Addr{a1, a2}
+}
+
+// udpTo builds a minimal UDP payload with the given destination port.
+func udpTo(dstPort uint16) []byte {
+	b := make([]byte, 12)
+	b[2] = byte(dstPort >> 8)
+	b[3] = byte(dstPort)
+	b[4] = 0
+	b[5] = 12
+	return b
+}
+
+var svcAddr = ipv4.MustParseAddr("192.20.225.20")
+
+func TestFTMulticastToAllReplicas(t *testing.T) {
+	sched, cs, rd, k1, k2, hosts := rig(t)
+	rd.SetFTReplicas(ServiceKey{Addr: svcAddr, Port: 80}, hosts[0], []ipv4.Addr{hosts[1]})
+	if err := cs.Send(ipv4.ProtoUDP, 0, svcAddr, udpTo(80)); err != nil {
+		t.Fatal(err)
+	}
+	sched.Run()
+	if len(k1.inner) != 1 || len(k2.inner) != 1 {
+		t.Fatalf("copies: primary=%d backup=%d, want 1 each", len(k1.inner), len(k2.inner))
+	}
+	in := k1.inner[0]
+	if in.Dst != svcAddr {
+		t.Errorf("inner dst = %s, want service address", in.Dst)
+	}
+	if in.Src != ipv4.MustParseAddr("10.1.0.2") {
+		t.Errorf("inner src = %s, want client address", in.Src)
+	}
+	st := rd.Stats()
+	if st.Multicast != 1 || st.MulticastCopies != 2 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestScalingPicksNearest(t *testing.T) {
+	sched, cs, rd, k1, k2, hosts := rig(t)
+	key := ServiceKey{Addr: svcAddr, Port: 80}
+	rd.AddTarget(key, Target{Host: hosts[1], Metric: 7})
+	rd.AddTarget(key, Target{Host: hosts[0], Metric: 2})
+	_ = cs.Send(ipv4.ProtoUDP, 0, svcAddr, udpTo(80))
+	sched.Run()
+	if len(k1.inner) != 1 || len(k2.inner) != 0 {
+		t.Fatalf("nearest selection wrong: h1=%d h2=%d", len(k1.inner), len(k2.inner))
+	}
+}
+
+func TestNonMatchingPortPassesThrough(t *testing.T) {
+	sched, cs, rd, k1, k2, hosts := rig(t)
+	rd.SetFTReplicas(ServiceKey{Addr: svcAddr, Port: 80}, hosts[0], nil)
+	// Port 23 is not in the table; dst host does not exist → router drops,
+	// but crucially nothing is tunneled.
+	_ = cs.Send(ipv4.ProtoUDP, 0, svcAddr, udpTo(23))
+	sched.Run()
+	if len(k1.outer)+len(k2.outer) != 0 {
+		t.Fatal("unmatched port was tunneled")
+	}
+	if rd.Stats().PassedThrough == 0 {
+		t.Error("pass-through not counted")
+	}
+}
+
+func TestNonTransportProtocolIgnored(t *testing.T) {
+	sched, cs, rd, k1, _, hosts := rig(t)
+	rd.SetFTReplicas(ServiceKey{Addr: svcAddr, Port: 80}, hosts[0], nil)
+	_ = cs.Send(201, 0, svcAddr, []byte{0, 0, 0, 80}) // bogus protocol
+	sched.Run()
+	if len(k1.outer) != 0 {
+		t.Fatal("non-TCP/UDP packet was redirected")
+	}
+}
+
+func TestRemoveReplicaPromotesInTable(t *testing.T) {
+	_, _, rd, _, _, hosts := rig(t)
+	key := ServiceKey{Addr: svcAddr, Port: 80}
+	rd.SetFTReplicas(key, hosts[0], []ipv4.Addr{hosts[1]})
+
+	// Removing a backup keeps the primary.
+	if p := rd.RemoveReplica(key, hosts[1]); p != hosts[0] {
+		t.Fatalf("primary after backup removal = %s", p)
+	}
+	// Re-add and remove the primary: backup must take over.
+	rd.SetFTReplicas(key, hosts[0], []ipv4.Addr{hosts[1]})
+	if p := rd.RemoveReplica(key, hosts[0]); p != hosts[1] {
+		t.Fatalf("promoted primary = %s, want backup", p)
+	}
+	// Removing the last member empties the entry.
+	if p := rd.RemoveReplica(key, hosts[1]); p != 0 {
+		t.Fatalf("primary after emptying = %s, want none", p)
+	}
+}
+
+func TestInstallRemoveLookup(t *testing.T) {
+	_, _, rd, _, _, hosts := rig(t)
+	key := ServiceKey{Addr: svcAddr, Port: 443}
+	rd.Install(key, &Entry{FT: true, Primary: hosts[0]})
+	if rd.Lookup(key) == nil {
+		t.Fatal("Lookup after Install failed")
+	}
+	if n := len(rd.Services()); n != 1 {
+		t.Fatalf("Services = %d entries", n)
+	}
+	rd.Remove(key)
+	if rd.Lookup(key) != nil {
+		t.Fatal("entry survives Remove")
+	}
+}
+
+func TestTunnelEncapsulationWellFormed(t *testing.T) {
+	sched, cs, rd, k1, _, hosts := rig(t)
+	rd.SetFTReplicas(ServiceKey{Addr: svcAddr, Port: 80}, hosts[0], nil)
+	_ = cs.Send(ipv4.ProtoUDP, 0, svcAddr, udpTo(80))
+	sched.Run()
+	if len(k1.outer) != 1 {
+		t.Fatal("no tunneled packet")
+	}
+	outer := k1.outer[0]
+	if outer.Proto != ipv4.ProtoIPIP {
+		t.Errorf("outer proto = %d", outer.Proto)
+	}
+	if outer.Dst != hosts[0] {
+		t.Errorf("outer dst = %s, want host server", outer.Dst)
+	}
+	if outer.Src == 0 {
+		t.Error("outer src unset")
+	}
+	inner := k1.inner[0]
+	// The inner TTL was decremented once by the redirector's forward path.
+	if inner.TTL != ipv4.DefaultTTL-1 {
+		t.Errorf("inner TTL = %d, want %d", inner.TTL, ipv4.DefaultTTL-1)
+	}
+}

@@ -1,0 +1,227 @@
+package rmp_test
+
+import (
+	"testing"
+	"time"
+
+	"hydranet"
+	"hydranet/internal/app"
+	"hydranet/internal/core"
+	"hydranet/internal/redirector"
+)
+
+var svc = hydranet.ServiceID{Addr: hydranet.MustAddr("192.20.225.20"), Port: 80}
+
+func build(t *testing.T, seed int64, n int) (*hydranet.Net, *hydranet.Redirector, []*hydranet.Host) {
+	t.Helper()
+	net := hydranet.New(hydranet.Config{Seed: seed})
+	rd := net.AddRedirector("rd", hydranet.HostConfig{})
+	var hosts []*hydranet.Host
+	for i := 0; i < n; i++ {
+		h := net.AddHost("s"+string(rune('0'+i)), hydranet.HostConfig{})
+		hosts = append(hosts, h)
+		net.Link(h, rd.Host, hydranet.LinkConfig{Delay: time.Millisecond})
+	}
+	net.AutoRoute()
+	return net, rd, hosts
+}
+
+func TestRegistrationBuildsChain(t *testing.T) {
+	net, rd, hosts := build(t, 61, 3)
+	if _, err := net.DeployFT(svc, rd, hosts, hydranet.FTOptions{},
+		func(c *hydranet.Conn) { app.Echo(c) }); err != nil {
+		t.Fatal(err)
+	}
+	net.Settle()
+	chain := rd.Daemon().Chain(svc)
+	if len(chain) != 3 || chain[0] != hosts[0].Addr() {
+		t.Fatalf("chain = %v", chain)
+	}
+	// The redirector table must agree.
+	entry := rd.Table().Lookup(redirector.ServiceKey(svc))
+	if entry == nil || !entry.FT || entry.Primary != hosts[0].Addr() || len(entry.Backups) != 2 {
+		t.Fatalf("table entry = %+v", entry)
+	}
+	// Chain positions: primary ungated only if it had no successor; here
+	// everyone but the tail is gated, which we verify via replica modes.
+	for i, h := range hosts {
+		port := h.FTManager().Port(svc)
+		if port == nil {
+			t.Fatalf("host %d has no replicated port", i)
+		}
+		wantMode := core.ModeBackup
+		if i == 0 {
+			wantMode = core.ModePrimary
+		}
+		if port.Mode() != wantMode {
+			t.Errorf("host %d mode = %v, want %v", i, port.Mode(), wantMode)
+		}
+	}
+}
+
+func TestDuplicateRegistrationIgnored(t *testing.T) {
+	net, rd, hosts := build(t, 62, 2)
+	if _, err := net.DeployFT(svc, rd, hosts, hydranet.FTOptions{},
+		func(c *hydranet.Conn) { app.Echo(c) }); err != nil {
+		t.Fatal(err)
+	}
+	net.Settle()
+	// The reliable layer may retry REGISTER; the daemon also dedups at the
+	// chain level. Registering the same host again must not duplicate it.
+	lst, _ := hosts[1].TCP().Listen(hydranet.MustAddr("192.20.225.21"), 80)
+	_ = lst
+	hosts[1].Daemon(rd).RegisterFT(svc, core.ModeBackup, core.DetectorParams{}, lst)
+	net.Settle()
+	if chain := rd.Daemon().Chain(svc); len(chain) != 2 {
+		t.Fatalf("chain after duplicate registration = %v", chain)
+	}
+}
+
+func TestVoluntaryLeaveOfBackup(t *testing.T) {
+	net, rd, hosts := build(t, 63, 3)
+	if _, err := net.DeployFT(svc, rd, hosts, hydranet.FTOptions{},
+		func(c *hydranet.Conn) { app.Echo(c) }); err != nil {
+		t.Fatal(err)
+	}
+	net.Settle()
+	hosts[1].Daemon(rd).Leave(svc)
+	net.Settle()
+	chain := rd.Daemon().Chain(svc)
+	if len(chain) != 2 || chain[0] != hosts[0].Addr() || chain[1] != hosts[2].Addr() {
+		t.Fatalf("chain after leave = %v", chain)
+	}
+	// The leaver no longer hosts the virtual address.
+	if hosts[1].HostServer().HasVHost(svc.Addr) {
+		t.Error("leaver still hosts the virtual host")
+	}
+}
+
+func TestVoluntaryLeaveOfPrimaryPromotesNext(t *testing.T) {
+	net, rd, hosts := build(t, 64, 2)
+	if _, err := net.DeployFT(svc, rd, hosts, hydranet.FTOptions{},
+		func(c *hydranet.Conn) { app.Echo(c) }); err != nil {
+		t.Fatal(err)
+	}
+	net.Settle()
+	hosts[0].Daemon(rd).Leave(svc)
+	net.Settle()
+	chain := rd.Daemon().Chain(svc)
+	if len(chain) != 1 || chain[0] != hosts[1].Addr() {
+		t.Fatalf("chain = %v, want just the old backup", chain)
+	}
+	port := hosts[1].FTManager().Port(svc)
+	if port.Mode() != core.ModePrimary {
+		t.Fatalf("survivor mode = %v, want primary", port.Mode())
+	}
+}
+
+func TestSuspectProbeKeepsLiveHosts(t *testing.T) {
+	// A false suspicion (all hosts alive) must not reconfigure anything.
+	net, rd, hosts := build(t, 65, 2)
+	if _, err := net.DeployFT(svc, rd, hosts, hydranet.FTOptions{},
+		func(c *hydranet.Conn) { app.Echo(c) }); err != nil {
+		t.Fatal(err)
+	}
+	net.Settle()
+	reconfigs := 0
+	rd.Daemon().OnReconfig(func(s hydranet.ServiceID, failed []hydranet.Addr) { reconfigs++ })
+	// Provoke genuine suspicions without any host failing: heavy loss on
+	// the acknowledgment channel stalls the flow-control loop, the client
+	// retransmits, and the detector fires — but the probe finds everyone
+	// alive, so nothing may change.
+	for _, h := range hosts {
+		h.FTManager().SetChainLoss(0.9)
+	}
+	client := net.AddHost("client", hydranet.HostConfig{})
+	net.Link(client, rd.Host, hydranet.LinkConfig{Delay: time.Millisecond})
+	net.AutoRoute()
+	conn, _ := client.Dial(svc)
+	app.Source(conn, make([]byte, 64*1024), false)
+	net.RunFor(2 * time.Minute)
+	if rd.Daemon().Stats().Suspicions == 0 {
+		t.Fatal("chain loss provoked no suspicion — the scenario is inert")
+	}
+	if got := len(rd.Daemon().Chain(svc)); got != 2 {
+		t.Fatalf("live hosts removed from chain: %v", rd.Daemon().Chain(svc))
+	}
+	if reconfigs != 0 {
+		t.Errorf("%d reconfigurations despite all hosts alive", reconfigs)
+	}
+}
+
+func TestRegistrationRaceDemotesInterimPrimary(t *testing.T) {
+	// Jittery management links can deliver the backup's REGISTER before
+	// the primary's. The backup is then briefly the sole member — and
+	// primary — until the real primary registers; the subsequent
+	// CHAIN-SET must demote it (suppression back on), or it becomes an
+	// unsuppressed co-primary corrupting the client stream.
+	net := hydranet.New(hydranet.Config{Seed: 67})
+	rd := net.AddRedirector("rd", hydranet.HostConfig{})
+	client := net.AddHost("client", hydranet.HostConfig{})
+	var hosts []*hydranet.Host
+	link := hydranet.LinkConfig{Rate: 10_000_000, Delay: time.Millisecond,
+		Jitter: 10 * time.Millisecond} // strong management reordering
+	net.Link(client, rd.Host, link)
+	for i := 0; i < 3; i++ {
+		h := net.AddHost("s"+string(rune('0'+i)), hydranet.HostConfig{})
+		hosts = append(hosts, h)
+		net.Link(h, rd.Host, link)
+	}
+	net.AutoRoute()
+	if _, err := net.DeployFT(svc, rd, hosts, hydranet.FTOptions{},
+		func(c *hydranet.Conn) { app.Echo(c) }); err != nil {
+		t.Fatal(err)
+	}
+	net.RunFor(5 * time.Second)
+	// Whatever the arrival order, the settled modes must match the chain.
+	chain := rd.Daemon().Chain(svc)
+	if len(chain) != 3 {
+		t.Fatalf("chain = %v", chain)
+	}
+	for i, h := range hosts {
+		port := h.FTManager().Port(svc)
+		want := core.ModeBackup
+		if h.Addr() == chain[0] {
+			want = core.ModePrimary
+		}
+		if port.Mode() != want {
+			t.Errorf("host %d mode = %v, want %v (chain %v)", i, port.Mode(), want, chain)
+		}
+	}
+	// And exactly one replica answers the client.
+	conn, _ := client.Dial(svc)
+	var got []byte
+	app.Collect(conn, &got)
+	app.Source(conn, []byte("who answers?"), false)
+	net.RunFor(20 * time.Second)
+	if string(got) != "who answers?" {
+		t.Fatalf("echo = %q", got)
+	}
+	transmitters := 0
+	for _, h := range hosts {
+		for _, c := range h.TCP().Conns() {
+			if c.Stats().SegsSent > 0 {
+				transmitters++
+			}
+		}
+	}
+	if transmitters != 1 {
+		t.Fatalf("%d replicas transmitted to the client, want exactly 1", transmitters)
+	}
+}
+
+func TestRedirectorDaemonStatsProgress(t *testing.T) {
+	net, rd, hosts := build(t, 66, 2)
+	if _, err := net.DeployFT(svc, rd, hosts, hydranet.FTOptions{},
+		func(c *hydranet.Conn) { app.Echo(c) }); err != nil {
+		t.Fatal(err)
+	}
+	net.Settle()
+	st := rd.Daemon().Stats()
+	if st.Registrations != 2 {
+		t.Errorf("Registrations = %d, want 2", st.Registrations)
+	}
+	if st.Reconfigs < 2 {
+		t.Errorf("Reconfigs = %d, want >= 2 (one per registration)", st.Reconfigs)
+	}
+}

@@ -1,0 +1,28 @@
+package rmp
+
+import (
+	"testing"
+
+	"hydranet/internal/ipv4"
+)
+
+// FuzzUnmarshalMessage: management datagrams come off the wire; arbitrary
+// bytes must never panic and accepted messages must round-trip.
+func FuzzUnmarshalMessage(f *testing.F) {
+	f.Add((&Message{Type: MsgRegister, Host: 9}).Marshal())
+	f.Add((&Message{Type: MsgMirror, ProbeID: 3, Hosts: []ipv4.Addr{1, 2}}).Marshal())
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := UnmarshalMessage(data)
+		if err != nil {
+			return
+		}
+		m2, err := UnmarshalMessage(m.Marshal())
+		if err != nil {
+			t.Fatalf("re-marshal does not parse: %v", err)
+		}
+		if m2.Type != m.Type || m2.Service != m.Service || m2.Host != m.Host ||
+			len(m2.Hosts) != len(m.Hosts) {
+			t.Fatal("message round trip changed fields")
+		}
+	})
+}

@@ -1,0 +1,144 @@
+package rmp
+
+import (
+	"fmt"
+	"time"
+
+	"hydranet/internal/core"
+	"hydranet/internal/hostserver"
+	"hydranet/internal/ipv4"
+	"hydranet/internal/sim"
+	"hydranet/internal/tcp"
+	"hydranet/internal/udp"
+)
+
+// HostDaemon is the management daemon on a HydraNet host. It registers
+// local replicas with the redirector, applies chain configuration pushed
+// back by the redirector, and forwards failure suspicions.
+type HostDaemon struct {
+	rel        *Reliable
+	sched      *sim.Scheduler
+	mgr        *core.Manager
+	hs         *hostserver.HostServer
+	tcpStack   *tcp.Stack
+	hostAddr   ipv4.Addr
+	redirector udp.Endpoint
+
+	// Stats
+	chainSets, suspectsSent uint64
+}
+
+// NewHostDaemon starts the daemon: it binds the management port and wires
+// the ft-TCP failure estimator to SUSPECT reports.
+func NewHostDaemon(udpStack *udp.Stack, sched *sim.Scheduler, mgr *core.Manager,
+	hs *hostserver.HostServer, tcpStack *tcp.Stack,
+	hostAddr, redirectorAddr ipv4.Addr) (*HostDaemon, error) {
+	d := &HostDaemon{
+		sched:      sched,
+		mgr:        mgr,
+		hs:         hs,
+		tcpStack:   tcpStack,
+		hostAddr:   hostAddr,
+		redirector: udp.Endpoint{Addr: redirectorAddr, Port: ManagementPort},
+	}
+	rel, err := NewReliable(udpStack, sched, hostAddr, ManagementPort, d.onMessage)
+	if err != nil {
+		return nil, fmt.Errorf("rmp: host daemon: %w", err)
+	}
+	d.rel = rel
+	mgr.OnSuspect(d.reportSuspicion)
+	return d, nil
+}
+
+// Stats returns chain reconfigurations applied and suspicions reported.
+func (d *HostDaemon) Stats() (chainSets, suspectsSent uint64) {
+	return d.chainSets, d.suspectsSent
+}
+
+// RegisterFT deploys a fault-tolerant replica locally and registers it with
+// the redirector: the virtual host is installed, the port marked replicated
+// (setportopt), the listener wired under ft-TCP hooks, and a REGISTER sent.
+func (d *HostDaemon) RegisterFT(svc core.ServiceID, mode core.Mode, det core.DetectorParams,
+	listener *tcp.Listener) *core.ReplicatedPort {
+	d.hs.VHost(svc.Addr)
+	port := d.mgr.SetPortOpt(svc, mode, det)
+	port.AttachListener(listener)
+	msg := Message{Type: MsgRegister, Service: svc, Host: d.hostAddr, Mode: mode}
+	d.rel.Send(d.redirector, msg.Marshal(), nil)
+	return port
+}
+
+// RegisterScale deploys a plain (scaling) replica: virtual host plus a
+// nearest-replica redirector entry; no ft-TCP machinery.
+func (d *HostDaemon) RegisterScale(svc core.ServiceID, metric uint16) {
+	d.hs.VHost(svc.Addr)
+	msg := Message{Type: MsgRegisterScale, Service: svc, Host: d.hostAddr, Metric: metric}
+	d.rel.Send(d.redirector, msg.Marshal(), nil)
+}
+
+// Leave withdraws this replica from the service (deletion of primary or
+// backup server, paper Section 4.4).
+func (d *HostDaemon) Leave(svc core.ServiceID) {
+	d.mgr.ClearPort(svc)
+	d.hs.ReleaseVHost(svc.Addr)
+	msg := Message{Type: MsgLeave, Service: svc, Host: d.hostAddr}
+	d.rel.Send(d.redirector, msg.Marshal(), nil)
+}
+
+// StartHeartbeats announces this replica's liveness for svc every interval
+// (lease-based membership; see RedirectorDaemon.EnableLeases). Heartbeats
+// stop implicitly when the host crashes — a dead node transmits nothing —
+// and resume if it restarts, though a removed member must still re-register
+// to rejoin the chain.
+func (d *HostDaemon) StartHeartbeats(svc core.ServiceID, interval time.Duration) {
+	var tick func()
+	timer := sim.NewTimer(d.sched, func() {})
+	tick = func() {
+		msg := Message{Type: MsgHeartbeat, Service: svc, Host: d.hostAddr}
+		d.rel.Send(d.redirector, msg.Marshal(), nil)
+		timer.Reset(interval)
+	}
+	timer = sim.NewTimer(d.sched, tick)
+	timer.Reset(interval)
+}
+
+func (d *HostDaemon) reportSuspicion(svc core.ServiceID) {
+	d.suspectsSent++
+	msg := Message{Type: MsgSuspect, Service: svc, Host: d.hostAddr}
+	d.rel.Send(d.redirector, msg.Marshal(), nil)
+}
+
+func (d *HostDaemon) onMessage(from udp.Endpoint, payload []byte) {
+	msg, err := UnmarshalMessage(payload)
+	if err != nil {
+		return
+	}
+	switch msg.Type {
+	case MsgChainSet:
+		d.applyChainSet(msg)
+	case MsgPing:
+		// Liveness probe: the reliable layer's acknowledgment is the
+		// "pong" — nothing further to do.
+	default:
+		// Host daemons ignore redirector-bound operations.
+	}
+}
+
+// applyChainSet installs this replica's chain position.
+func (d *HostDaemon) applyChainSet(msg *Message) {
+	port := d.mgr.Port(msg.Service)
+	if port == nil {
+		return
+	}
+	d.chainSets++
+	port.SetUpstream(msg.Upstream)
+	switch {
+	case msg.Mode == core.ModePrimary && port.Mode() == core.ModeBackup:
+		port.Promote()
+	case msg.Mode == core.ModeBackup && port.Mode() == core.ModePrimary:
+		// Registration races can briefly make a backup the sole (hence
+		// primary) member; the authoritative chain demotes it.
+		port.Demote()
+	}
+	port.SetGated(msg.Gated)
+}

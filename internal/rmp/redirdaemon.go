@@ -1,0 +1,387 @@
+package rmp
+
+import (
+	"fmt"
+	"time"
+
+	"hydranet/internal/core"
+	"hydranet/internal/ipv4"
+	"hydranet/internal/redirector"
+	"hydranet/internal/sim"
+	"hydranet/internal/udp"
+)
+
+// RedirectorDaemonStats counts redirector-side management activity.
+type RedirectorDaemonStats struct {
+	Registrations       uint64
+	Leaves              uint64
+	Suspicions          uint64
+	ProbesSent          uint64
+	HostsFailed         uint64
+	Reconfigs           uint64
+	CongestionEvictions uint64
+	LeaseExpirations    uint64
+}
+
+// RedirectorDaemon is the management daemon co-located with a redirector.
+// It is the authority for each service's replica chain: it accepts
+// registrations, keeps the redirector table in sync, and runs the
+// reconfiguration procedure when a failure is reported.
+type RedirectorDaemon struct {
+	rel   *Reliable
+	rd    *redirector.Redirector
+	sched *sim.Scheduler
+	addr  ipv4.Addr
+
+	services    map[core.ServiceID]*svcState
+	peers       []udp.Endpoint            // peer redirectors mirroring our FT entries
+	mirrored    map[core.ServiceID]uint32 // last version applied per mirrored service
+	congestion  CongestionPolicy
+	leaseExpiry time.Duration
+	leaseSweep  *sim.Timer
+	stats       RedirectorDaemonStats
+
+	// onReconfig, if set, observes completed reconfigurations (testing and
+	// measurement).
+	onReconfig func(svc core.ServiceID, failed []ipv4.Addr)
+}
+
+type svcState struct {
+	chain   []ipv4.Addr // S0 (primary) first
+	probing bool
+	probeID uint32
+	version uint32 // bumped on every chain change, for mirror ordering
+
+	// Congestion-eviction bookkeeping: times of all-alive probe outcomes
+	// within the policy window.
+	aliveStrikes []time.Duration
+	// Lease bookkeeping: last heartbeat (or registration) per member.
+	lastSeen map[ipv4.Addr]time.Duration
+}
+
+// CongestionPolicy configures eviction of live-but-disruptive replicas
+// (paper Section 1: "it should be possible to temporarily shut down servers
+// when they cause service disruption due to congestion, and bring them back
+// in when the congestion clears"). When Strikes suspicions end in all-alive
+// probe outcomes within Window, the chain tail backup is evicted — it can
+// rejoin later via re-registration (Recommission). The zero value disables
+// the policy.
+type CongestionPolicy struct {
+	Strikes int
+	Window  time.Duration
+}
+
+// NewRedirectorDaemon starts the daemon on the redirector node.
+func NewRedirectorDaemon(udpStack *udp.Stack, sched *sim.Scheduler,
+	rd *redirector.Redirector, addr ipv4.Addr) (*RedirectorDaemon, error) {
+	d := &RedirectorDaemon{
+		rd:       rd,
+		sched:    sched,
+		addr:     addr,
+		services: make(map[core.ServiceID]*svcState),
+		mirrored: make(map[core.ServiceID]uint32),
+	}
+	rel, err := NewReliable(udpStack, sched, addr, ManagementPort, d.onMessage)
+	if err != nil {
+		return nil, fmt.Errorf("rmp: redirector daemon: %w", err)
+	}
+	d.rel = rel
+	return d, nil
+}
+
+// Stats returns a snapshot of the daemon counters.
+func (d *RedirectorDaemon) Stats() RedirectorDaemonStats { return d.stats }
+
+// AddPeer registers a peer redirector that should mirror this daemon's
+// fault-tolerant table entries, so clients behind it reach the same replica
+// sets (paper Figure 1: hosts "accessible to all clients through at least
+// one redirector"). Mirroring is one-way; the authority for a service is
+// the redirector its replicas register with.
+func (d *RedirectorDaemon) AddPeer(addr ipv4.Addr) {
+	d.peers = append(d.peers, udp.Endpoint{Addr: addr, Port: ManagementPort})
+	// Push current state so late-added peers converge.
+	for svc, s := range d.services {
+		d.pushMirror(svc, s)
+	}
+}
+
+// SetCongestionPolicy enables congestion-based eviction (see
+// CongestionPolicy).
+func (d *RedirectorDaemon) SetCongestionPolicy(p CongestionPolicy) { d.congestion = p }
+
+// EnableLeases turns on lease-based membership: chain members whose
+// heartbeats (see HostDaemon.StartHeartbeats) fall silent for expiry are
+// removed proactively, giving idle services failure detection without any
+// client traffic. Registration counts as the first heartbeat, so every
+// member under this policy must heartbeat.
+func (d *RedirectorDaemon) EnableLeases(expiry time.Duration) {
+	d.leaseExpiry = expiry
+	if d.leaseSweep == nil {
+		d.leaseSweep = sim.NewTimer(d.sched, d.sweepLeases)
+	}
+	d.leaseSweep.Reset(expiry / 2)
+}
+
+func (d *RedirectorDaemon) sweepLeases() {
+	now := d.sched.Now()
+	for svc, s := range d.services {
+		var expired []ipv4.Addr
+		for _, host := range s.chain {
+			seen, ok := s.lastSeen[host]
+			if ok && now-seen > d.leaseExpiry {
+				expired = append(expired, host)
+			}
+		}
+		if len(expired) == 0 {
+			continue
+		}
+		for _, host := range expired {
+			d.stats.LeaseExpirations++
+			removeHost(&s.chain, host)
+			delete(s.lastSeen, host)
+		}
+		d.applyChain(svc, s)
+		if d.onReconfig != nil {
+			d.onReconfig(svc, expired)
+		}
+	}
+	d.leaseSweep.Reset(d.leaseExpiry / 2)
+}
+
+// OnReconfig installs an observer for completed failure reconfigurations.
+func (d *RedirectorDaemon) OnReconfig(fn func(svc core.ServiceID, failed []ipv4.Addr)) {
+	d.onReconfig = fn
+}
+
+// Chain returns the current replica chain for svc (primary first).
+func (d *RedirectorDaemon) Chain(svc core.ServiceID) []ipv4.Addr {
+	s := d.services[svc]
+	if s == nil {
+		return nil
+	}
+	return append([]ipv4.Addr(nil), s.chain...)
+}
+
+func (d *RedirectorDaemon) onMessage(from udp.Endpoint, payload []byte) {
+	msg, err := UnmarshalMessage(payload)
+	if err != nil {
+		return
+	}
+	switch msg.Type {
+	case MsgRegister:
+		d.register(msg)
+	case MsgRegisterScale:
+		d.stats.Registrations++
+		d.rd.AddTarget(redirector.ServiceKey(msg.Service),
+			redirector.Target{Host: msg.Host, Metric: int(msg.Metric)})
+	case MsgLeave:
+		d.leave(msg)
+	case MsgSuspect:
+		d.suspect(msg.Service)
+	case MsgMirror:
+		d.applyMirror(msg)
+	case MsgHeartbeat:
+		if s := d.services[msg.Service]; s != nil {
+			s.noteAlive(msg.Host, d.sched.Now())
+		}
+	}
+}
+
+// register handles creation of primary and backup servers.
+func (d *RedirectorDaemon) register(msg *Message) {
+	s := d.services[msg.Service]
+	if s == nil {
+		s = &svcState{}
+		d.services[msg.Service] = s
+	}
+	s.noteAlive(msg.Host, d.sched.Now())
+	for _, h := range s.chain {
+		if h == msg.Host {
+			return // duplicate registration (retried datagram)
+		}
+	}
+	d.stats.Registrations++
+	if msg.Mode == core.ModePrimary {
+		s.chain = append([]ipv4.Addr{msg.Host}, s.chain...)
+	} else {
+		s.chain = append(s.chain, msg.Host)
+	}
+	d.applyChain(msg.Service, s)
+}
+
+// leave handles voluntary departure of a replica (FT chain member or
+// scaling-mode target).
+func (d *RedirectorDaemon) leave(msg *Message) {
+	s := d.services[msg.Service]
+	if s == nil {
+		// Not an FT service here: drop any scaling-mode target.
+		d.rd.RemoveTarget(redirector.ServiceKey(msg.Service), msg.Host)
+		d.stats.Leaves++
+		return
+	}
+	if removed := removeHost(&s.chain, msg.Host); !removed {
+		return
+	}
+	d.stats.Leaves++
+	d.applyChain(msg.Service, s)
+}
+
+// suspect runs the failure-identification procedure: probe every chain
+// member; the ones whose daemons never acknowledge are declared failed and
+// removed, and the survivors receive their new chain positions. The paper
+// notes identification is simple because a failure partitions the
+// acknowledgment channel; probing from the redirector is the concrete
+// mechanism here.
+func (d *RedirectorDaemon) suspect(svc core.ServiceID) {
+	s := d.services[svc]
+	if s == nil || s.probing || len(s.chain) == 0 {
+		return
+	}
+	d.stats.Suspicions++
+	s.probing = true
+	s.probeID++
+	targets := append([]ipv4.Addr(nil), s.chain...)
+	alive := make(map[ipv4.Addr]bool, len(targets))
+	outstanding := len(targets)
+	for _, host := range targets {
+		host := host
+		ping := Message{Type: MsgPing, Service: svc, Host: host, ProbeID: s.probeID}
+		d.stats.ProbesSent++
+		d.rel.Send(udp.Endpoint{Addr: host, Port: ManagementPort}, ping.Marshal(),
+			func(delivered bool) {
+				alive[host] = delivered
+				outstanding--
+				if outstanding == 0 {
+					d.finishProbe(svc, s, targets, alive)
+				}
+			})
+	}
+}
+
+func (d *RedirectorDaemon) finishProbe(svc core.ServiceID, s *svcState,
+	targets []ipv4.Addr, alive map[ipv4.Addr]bool) {
+	s.probing = false
+	var failed []ipv4.Addr
+	for _, host := range targets {
+		if !alive[host] {
+			failed = append(failed, host)
+		}
+	}
+	if len(failed) == 0 {
+		// All members alive: a false positive, or congestion somewhere in
+		// the chain. Under the congestion policy, repeated strikes evict
+		// the tail backup (never the primary): shrinking the chain removes
+		// potential blockers until the flow recovers; an evicted server
+		// can re-register once its congestion clears.
+		if d.congestion.Strikes > 0 && len(s.chain) > 1 {
+			now := d.sched.Now()
+			cutoff := now - d.congestion.Window
+			kept := s.aliveStrikes[:0]
+			for _, ts := range s.aliveStrikes {
+				if ts >= cutoff {
+					kept = append(kept, ts)
+				}
+			}
+			s.aliveStrikes = append(kept, now)
+			if len(s.aliveStrikes) >= d.congestion.Strikes {
+				s.aliveStrikes = s.aliveStrikes[:0]
+				tail := s.chain[len(s.chain)-1]
+				d.stats.CongestionEvictions++
+				removeHost(&s.chain, tail)
+				d.applyChain(svc, s)
+				if d.onReconfig != nil {
+					d.onReconfig(svc, []ipv4.Addr{tail})
+				}
+			}
+		}
+		return
+	}
+	for _, host := range failed {
+		d.stats.HostsFailed++
+		removeHost(&s.chain, host)
+	}
+	d.applyChain(svc, s)
+	if d.onReconfig != nil {
+		d.onReconfig(svc, failed)
+	}
+}
+
+// applyMirror installs a peer's FT entry into the local table
+// (last-writer-wins by version).
+func (d *RedirectorDaemon) applyMirror(msg *Message) {
+	if last, ok := d.mirrored[msg.Service]; ok && int32(msg.ProbeID-last) <= 0 {
+		return // stale or duplicate update
+	}
+	d.mirrored[msg.Service] = msg.ProbeID
+	key := redirector.ServiceKey(msg.Service)
+	if len(msg.Hosts) == 0 {
+		d.rd.Remove(key)
+		return
+	}
+	d.rd.SetFTReplicas(key, msg.Hosts[0], msg.Hosts[1:])
+}
+
+// pushMirror replicates the service's chain to every peer redirector.
+func (d *RedirectorDaemon) pushMirror(svc core.ServiceID, s *svcState) {
+	for _, peer := range d.peers {
+		msg := Message{
+			Type:    MsgMirror,
+			Service: svc,
+			ProbeID: s.version,
+			Hosts:   append([]ipv4.Addr(nil), s.chain...),
+		}
+		d.rel.Send(peer, msg.Marshal(), nil)
+	}
+}
+
+// applyChain synchronizes the redirector table with the chain and pushes
+// each member its position.
+func (d *RedirectorDaemon) applyChain(svc core.ServiceID, s *svcState) {
+	d.stats.Reconfigs++
+	s.version++
+	defer d.pushMirror(svc, s)
+	key := redirector.ServiceKey(svc)
+	if len(s.chain) == 0 {
+		d.rd.Remove(key)
+		return
+	}
+	d.rd.SetFTReplicas(key, s.chain[0], s.chain[1:])
+	for i, host := range s.chain {
+		set := Message{
+			Type:    MsgChainSet,
+			Service: svc,
+			Host:    host,
+			Mode:    core.ModeBackup,
+			Gated:   i < len(s.chain)-1,
+		}
+		if i == 0 {
+			set.Mode = core.ModePrimary
+		} else {
+			set.Upstream = s.chain[i-1]
+		}
+		d.rel.Send(udp.Endpoint{Addr: host, Port: ManagementPort}, set.Marshal(), nil)
+	}
+}
+
+// noteAlive records lease liveness for a member.
+func (s *svcState) noteAlive(host ipv4.Addr, now time.Duration) {
+	if s.lastSeen == nil {
+		s.lastSeen = make(map[ipv4.Addr]time.Duration)
+	}
+	s.lastSeen[host] = now
+}
+
+func removeHost(chain *[]ipv4.Addr, host ipv4.Addr) bool {
+	for i, h := range *chain {
+		if h == host {
+			*chain = append((*chain)[:i], (*chain)[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// RelStats exposes the reliable layer's counters (diagnostics).
+func (d *RedirectorDaemon) RelStats() (sent, acked, failed, dups uint64) {
+	return d.rel.Stats()
+}

@@ -1,0 +1,159 @@
+package rmp
+
+import (
+	"time"
+
+	"hydranet/internal/ipv4"
+	"hydranet/internal/sim"
+	"hydranet/internal/udp"
+)
+
+// Reliable is the "form of reliable UDP" the management daemons use for
+// message exchanges: sequence-numbered datagrams, positive acknowledgment,
+// bounded retransmission, and duplicate suppression at the receiver.
+type Reliable struct {
+	sched     *sim.Scheduler
+	udpStack  *udp.Stack
+	localAddr ipv4.Addr
+	port      uint16
+
+	nextSeq  uint32
+	pending  map[uint32]*relPending
+	seen     map[ipv4.Addr][]uint32 // recent seqs per peer, for dedup
+	onData   func(from udp.Endpoint, payload []byte)
+	attempts int
+	interval time.Duration
+
+	// Stats
+	sent, acked, failed, dupsDropped uint64
+}
+
+type relPending struct {
+	timer    *sim.Timer
+	dst      udp.Endpoint
+	frame    []byte
+	tries    int
+	onResult func(delivered bool)
+}
+
+const (
+	relData uint8 = 1
+	relAck  uint8 = 2
+
+	relHeaderLen   = 5
+	relDedupWindow = 64
+)
+
+// NewReliable binds a reliable-UDP endpoint on (localAddr, port). onData is
+// invoked once per distinct delivered datagram.
+func NewReliable(udpStack *udp.Stack, sched *sim.Scheduler, localAddr ipv4.Addr, port uint16,
+	onData func(from udp.Endpoint, payload []byte)) (*Reliable, error) {
+	r := &Reliable{
+		sched:     sched,
+		udpStack:  udpStack,
+		localAddr: localAddr,
+		port:      port,
+		pending:   make(map[uint32]*relPending),
+		seen:      make(map[ipv4.Addr][]uint32),
+		onData:    onData,
+		attempts:  4,
+		interval:  250 * time.Millisecond,
+	}
+	if err := udpStack.Bind(localAddr, port, r.receive); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// Stats returns datagrams sent, acknowledged, failed (all retries
+// exhausted) and duplicates dropped.
+func (r *Reliable) Stats() (sent, acked, failed, dups uint64) {
+	return r.sent, r.acked, r.failed, r.dupsDropped
+}
+
+// Send transmits payload to dst with retries. onResult, if non-nil, reports
+// whether the peer acknowledged within the retry budget.
+func (r *Reliable) Send(dst udp.Endpoint, payload []byte, onResult func(delivered bool)) {
+	r.nextSeq++
+	seq := r.nextSeq
+	frame := make([]byte, relHeaderLen+len(payload))
+	frame[0] = relData
+	putU32(frame[1:5], seq)
+	copy(frame[relHeaderLen:], payload)
+	p := &relPending{dst: dst, frame: frame, onResult: onResult}
+	p.timer = sim.NewTimer(r.sched, func() { r.retry(seq) })
+	r.pending[seq] = p
+	r.sent++
+	r.transmit(p)
+}
+
+func (r *Reliable) transmit(p *relPending) {
+	p.tries++
+	// A missing route is equivalent to loss; retries cover it.
+	_ = r.udpStack.SendTo(r.localAddr, r.port, p.dst, p.frame) //nolint:errcheck
+	p.timer.Reset(r.interval)
+}
+
+func (r *Reliable) retry(seq uint32) {
+	p := r.pending[seq]
+	if p == nil {
+		return
+	}
+	if p.tries >= r.attempts {
+		delete(r.pending, seq)
+		r.failed++
+		if p.onResult != nil {
+			p.onResult(false)
+		}
+		return
+	}
+	r.transmit(p)
+}
+
+func (r *Reliable) receive(from udp.Endpoint, local ipv4.Addr, b []byte) {
+	if len(b) < relHeaderLen {
+		return
+	}
+	seq := getU32(b[1:5])
+	switch b[0] {
+	case relAck:
+		p := r.pending[seq]
+		if p == nil {
+			return
+		}
+		p.timer.Stop()
+		delete(r.pending, seq)
+		r.acked++
+		if p.onResult != nil {
+			p.onResult(true)
+		}
+	case relData:
+		// Always (re-)acknowledge, then deduplicate.
+		ack := make([]byte, relHeaderLen)
+		ack[0] = relAck
+		putU32(ack[1:5], seq)
+		_ = r.udpStack.SendTo(local, r.port, from, ack) //nolint:errcheck
+		if r.isDup(from.Addr, seq) {
+			r.dupsDropped++
+			return
+		}
+		if r.onData != nil {
+			r.onData(from, b[relHeaderLen:])
+		}
+	}
+}
+
+func (r *Reliable) isDup(peer ipv4.Addr, seq uint32) bool {
+	window := r.seen[peer]
+	for _, s := range window {
+		if s == seq {
+			return true
+		}
+	}
+	window = append(window, seq)
+	if len(window) > relDedupWindow {
+		window = window[len(window)-relDedupWindow:]
+	}
+	r.seen[peer] = window
+	return false
+}

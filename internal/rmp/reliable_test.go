@@ -1,0 +1,136 @@
+package rmp
+
+import (
+	"testing"
+	"time"
+
+	"hydranet/internal/ipv4"
+	"hydranet/internal/netsim"
+	"hydranet/internal/sim"
+	"hydranet/internal/udp"
+)
+
+// relPair builds two directly linked hosts with reliable endpoints.
+func relPair(t *testing.T, loss float64) (*sim.Scheduler, *Reliable, *Reliable,
+	udp.Endpoint, udp.Endpoint, *[][]byte, *netsim.Link) {
+	t.Helper()
+	sched := sim.NewScheduler(51)
+	nw := netsim.New(sched)
+	a := nw.AddNode(netsim.NodeConfig{Name: "a"})
+	b := nw.AddNode(netsim.NodeConfig{Name: "b"})
+	link := nw.Connect(a, b, netsim.LinkConfig{Delay: time.Millisecond, Loss: loss})
+	sa, sb := ipv4.NewStack(a, sched), ipv4.NewStack(b, sched)
+	aAddr, bAddr := ipv4.MustParseAddr("10.0.0.1"), ipv4.MustParseAddr("10.0.0.2")
+	sa.SetAddr(0, aAddr)
+	sb.SetAddr(0, bAddr)
+	sa.Routes().AddDefault(0)
+	sb.Routes().AddDefault(0)
+	ua, ub := udp.NewStack(sa), udp.NewStack(sb)
+
+	var received [][]byte
+	ra, err := NewReliable(ua, sched, aAddr, ManagementPort, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := NewReliable(ub, sched, bAddr, ManagementPort,
+		func(_ udp.Endpoint, p []byte) { received = append(received, append([]byte(nil), p...)) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sched, ra, rb, udp.Endpoint{Addr: aAddr, Port: ManagementPort},
+		udp.Endpoint{Addr: bAddr, Port: ManagementPort}, &received, link
+}
+
+func TestReliableDelivery(t *testing.T) {
+	sched, ra, _, _, epB, received, _ := relPair(t, 0)
+	delivered := false
+	ra.Send(epB, []byte("hello"), func(ok bool) { delivered = ok })
+	sched.Run()
+	if !delivered {
+		t.Fatal("delivery not confirmed")
+	}
+	if len(*received) != 1 || string((*received)[0]) != "hello" {
+		t.Fatalf("received %v", *received)
+	}
+}
+
+func TestReliableSurvivesLoss(t *testing.T) {
+	sched, ra, _, _, epB, received, _ := relPair(t, 0.4)
+	confirmed := 0
+	for i := 0; i < 10; i++ {
+		ra.Send(epB, []byte{byte(i)}, func(ok bool) {
+			if ok {
+				confirmed++
+			}
+		})
+	}
+	sched.Run()
+	// 40% loss with 4 attempts: essentially everything gets through.
+	if confirmed < 8 {
+		t.Fatalf("only %d of 10 confirmed under 40%% loss", confirmed)
+	}
+	if len(*received) < confirmed {
+		t.Fatalf("receiver saw %d, sender confirmed %d", len(*received), confirmed)
+	}
+	// No duplicates surfaced to the application.
+	seen := map[byte]int{}
+	for _, p := range *received {
+		seen[p[0]]++
+		if seen[p[0]] > 1 {
+			t.Fatalf("duplicate delivery of %d", p[0])
+		}
+	}
+}
+
+func TestReliableReportsFailure(t *testing.T) {
+	sched, ra, _, _, epB, _, link := relPair(t, 0)
+	link.SetLoss(1) // total partition
+	result := make(chan bool, 1)
+	ok := true
+	ra.Send(epB, []byte("void"), func(delivered bool) { ok = delivered })
+	sched.Run()
+	if ok {
+		t.Fatal("delivery into a partition reported success")
+	}
+	select {
+	case <-result:
+	default:
+	}
+	_, _, failed, _ := ra.Stats()
+	if failed != 1 {
+		t.Fatalf("failed = %d, want 1", failed)
+	}
+}
+
+func TestReliableFailureLatencyBounded(t *testing.T) {
+	// The probe result must arrive within the retry budget (4 × 250 ms),
+	// which is what bounds reconfiguration latency.
+	sched, ra, _, _, epB, _, link := relPair(t, 0)
+	link.SetLoss(1)
+	var failedAt time.Duration
+	ra.Send(epB, []byte("probe"), func(delivered bool) {
+		if !delivered {
+			failedAt = sched.Now()
+		}
+	})
+	sched.Run()
+	if failedAt == 0 || failedAt > 1500*time.Millisecond {
+		t.Fatalf("failure detected at %v, want within 1.5s", failedAt)
+	}
+}
+
+func TestReliableDedupWindow(t *testing.T) {
+	// Force duplicate DATA frames by simulating a lost ACK: send, then
+	// replay the exact frame. The receiver must ack both but deliver once.
+	sched, ra, rb, _, epB, received, _ := relPair(t, 0)
+	ra.Send(epB, []byte("once"), nil)
+	sched.Run()
+	if len(*received) != 1 {
+		t.Fatalf("received %d", len(*received))
+	}
+	// Replay via the dedup check directly.
+	if !rb.isDup(ipv4.MustParseAddr("10.0.0.1"), 1) {
+		t.Fatal("replayed sequence not detected as duplicate")
+	}
+	_ = ra
+}

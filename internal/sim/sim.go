@@ -1,0 +1,221 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// All HydraNet-FT components run on a single virtual clock owned by a
+// Scheduler. Events execute in strict timestamp order; ties are broken by
+// insertion order, so a run with a given seed and topology is exactly
+// reproducible. The engine is intentionally single-threaded: protocol
+// endpoints are event-driven state machines, not goroutines, which removes
+// scheduling nondeterminism from measurements.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Event is a scheduled callback. The callback runs exactly once unless the
+// event is cancelled first.
+type Event struct {
+	at     time.Duration
+	seq    uint64
+	fn     func()
+	index  int // heap index; -1 once removed
+	cancel bool
+}
+
+// At returns the virtual time the event is scheduled for.
+func (e *Event) At() time.Duration { return e.at }
+
+// Cancel prevents the event from firing. Cancelling an already-fired or
+// already-cancelled event is a no-op.
+func (e *Event) Cancel() {
+	if e != nil {
+		e.cancel = true
+	}
+}
+
+// Cancelled reports whether Cancel was called on the event.
+func (e *Event) Cancelled() bool { return e.cancel }
+
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*q)
+	*q = append(*q, e)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*q = old[:n-1]
+	return e
+}
+
+// Scheduler owns the virtual clock and the pending-event queue.
+type Scheduler struct {
+	now     time.Duration
+	queue   eventQueue
+	nextSeq uint64
+	rng     *rand.Rand
+	fired   uint64
+	running bool
+}
+
+// NewScheduler returns a scheduler with its clock at zero and a PRNG seeded
+// with the given seed.
+func NewScheduler(seed int64) *Scheduler {
+	return &Scheduler{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time.
+func (s *Scheduler) Now() time.Duration { return s.now }
+
+// Rand returns the scheduler's deterministic PRNG. All randomness in a
+// simulation (loss decisions, jitter) must come from this source.
+func (s *Scheduler) Rand() *rand.Rand { return s.rng }
+
+// Fired returns the number of events executed so far.
+func (s *Scheduler) Fired() uint64 { return s.fired }
+
+// Pending returns the number of events waiting in the queue, including
+// cancelled events that have not yet been discarded.
+func (s *Scheduler) Pending() int { return len(s.queue) }
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the past
+// panics: it would reorder causality.
+func (s *Scheduler) At(t time.Duration, fn func()) *Event {
+	if t < s.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, s.now))
+	}
+	e := &Event{at: t, seq: s.nextSeq, fn: fn}
+	s.nextSeq++
+	heap.Push(&s.queue, e)
+	return e
+}
+
+// After schedules fn to run d after the current virtual time.
+func (s *Scheduler) After(d time.Duration, fn func()) *Event {
+	if d < 0 {
+		d = 0
+	}
+	return s.At(s.now+d, fn)
+}
+
+// Step executes the next pending event, advancing the clock to its
+// timestamp. It returns false when the queue is empty.
+func (s *Scheduler) Step() bool {
+	for len(s.queue) > 0 {
+		e := heap.Pop(&s.queue).(*Event)
+		if e.cancel {
+			continue
+		}
+		s.now = e.at
+		s.fired++
+		e.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue drains.
+func (s *Scheduler) Run() {
+	s.running = true
+	for s.running && s.Step() {
+	}
+	s.running = false
+}
+
+// RunUntil executes events with timestamps <= deadline, then advances the
+// clock to deadline. Events scheduled beyond the deadline remain queued.
+func (s *Scheduler) RunUntil(deadline time.Duration) {
+	s.running = true
+	for s.running {
+		e := s.peek()
+		if e == nil || e.at > deadline {
+			break
+		}
+		s.Step()
+	}
+	s.running = false
+	if s.now < deadline {
+		s.now = deadline
+	}
+}
+
+// Stop makes a Run or RunUntil in progress return after the current event.
+func (s *Scheduler) Stop() { s.running = false }
+
+func (s *Scheduler) peek() *Event {
+	for len(s.queue) > 0 {
+		e := s.queue[0]
+		if !e.cancel {
+			return e
+		}
+		heap.Pop(&s.queue)
+	}
+	return nil
+}
+
+// Timer is a restartable one-shot timer bound to a scheduler, in the style
+// of kernel protocol timers (retransmission, delayed-ACK, keepalive).
+type Timer struct {
+	s  *Scheduler
+	ev *Event
+	fn func()
+}
+
+// NewTimer returns a stopped timer that runs fn when it expires.
+func NewTimer(s *Scheduler, fn func()) *Timer {
+	return &Timer{s: s, fn: fn}
+}
+
+// Reset (re)arms the timer to fire d from now, cancelling any earlier
+// deadline.
+func (t *Timer) Reset(d time.Duration) {
+	t.ev.Cancel()
+	t.ev = t.s.After(d, t.fire)
+}
+
+// Stop disarms the timer.
+func (t *Timer) Stop() {
+	t.ev.Cancel()
+	t.ev = nil
+}
+
+// Armed reports whether the timer is waiting to fire.
+func (t *Timer) Armed() bool { return t.ev != nil && !t.ev.Cancelled() }
+
+// Deadline returns the virtual time the timer will fire at; valid only when
+// Armed.
+func (t *Timer) Deadline() time.Duration {
+	if !t.Armed() {
+		return 0
+	}
+	return t.ev.At()
+}
+
+func (t *Timer) fire() {
+	t.ev = nil
+	t.fn()
+}

@@ -1,0 +1,70 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+)
+
+// TestRandomEventsFireInTimestampOrder is the heap's core property under
+// arbitrary insertion patterns, including insertions from inside running
+// events.
+func TestRandomEventsFireInTimestampOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	s := NewScheduler(1)
+	var fired []time.Duration
+	record := func() { fired = append(fired, s.Now()) }
+	var schedule func(depth int)
+	schedule = func(depth int) {
+		n := rng.Intn(20) + 1
+		for i := 0; i < n; i++ {
+			at := s.Now() + time.Duration(rng.Intn(1000))*time.Millisecond
+			if depth < 3 && rng.Intn(4) == 0 {
+				d := depth
+				s.At(at, func() { record(); schedule(d + 1) })
+			} else {
+				s.At(at, record)
+			}
+		}
+	}
+	schedule(0)
+	s.Run()
+	if len(fired) < 20 {
+		t.Fatalf("only %d events fired", len(fired))
+	}
+	if !sort.SliceIsSorted(fired, func(i, j int) bool { return fired[i] < fired[j] }) {
+		t.Fatal("events fired out of timestamp order")
+	}
+}
+
+// BenchmarkSchedulerThroughput measures raw event dispatch speed — the
+// budget every simulated packet pays several times.
+func BenchmarkSchedulerThroughput(b *testing.B) {
+	s := NewScheduler(1)
+	count := 0
+	var chain func()
+	chain = func() {
+		count++
+		if count < b.N {
+			s.After(time.Microsecond, chain)
+		}
+	}
+	b.ResetTimer()
+	s.After(time.Microsecond, chain)
+	s.Run()
+}
+
+// BenchmarkSchedulerMixedQueue exercises the heap with a standing backlog.
+func BenchmarkSchedulerMixedQueue(b *testing.B) {
+	s := NewScheduler(1)
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 1024; i++ {
+		s.At(time.Duration(rng.Intn(1_000_000))*time.Microsecond, func() {})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.At(s.Now()+time.Duration(rng.Intn(1000))*time.Microsecond, func() {})
+		s.Step()
+	}
+}

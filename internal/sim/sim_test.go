@@ -1,0 +1,195 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSchedulerOrdering(t *testing.T) {
+	s := NewScheduler(1)
+	var order []int
+	s.At(30*time.Millisecond, func() { order = append(order, 3) })
+	s.At(10*time.Millisecond, func() { order = append(order, 1) })
+	s.At(20*time.Millisecond, func() { order = append(order, 2) })
+	s.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("events out of order: %v", order)
+	}
+	if s.Now() != 30*time.Millisecond {
+		t.Fatalf("clock = %v, want 30ms", s.Now())
+	}
+}
+
+func TestSchedulerTieBreakFIFO(t *testing.T) {
+	s := NewScheduler(1)
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(5*time.Millisecond, func() { order = append(order, i) })
+	}
+	s.Run()
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("tie-broken order %v, want FIFO", order)
+		}
+	}
+}
+
+func TestSchedulerAfterAccumulates(t *testing.T) {
+	s := NewScheduler(1)
+	var at []time.Duration
+	var chain func()
+	n := 0
+	chain = func() {
+		at = append(at, s.Now())
+		n++
+		if n < 3 {
+			s.After(10*time.Millisecond, chain)
+		}
+	}
+	s.After(10*time.Millisecond, chain)
+	s.Run()
+	want := []time.Duration{10 * time.Millisecond, 20 * time.Millisecond, 30 * time.Millisecond}
+	for i := range want {
+		if at[i] != want[i] {
+			t.Fatalf("firing times %v, want %v", at, want)
+		}
+	}
+}
+
+func TestEventCancel(t *testing.T) {
+	s := NewScheduler(1)
+	fired := false
+	e := s.At(time.Millisecond, func() { fired = true })
+	e.Cancel()
+	s.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	if s.Fired() != 0 {
+		t.Fatalf("Fired = %d, want 0", s.Fired())
+	}
+}
+
+func TestCancelNilEvent(t *testing.T) {
+	var e *Event
+	e.Cancel() // must not panic
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	s := NewScheduler(1)
+	s.At(10*time.Millisecond, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		s.At(5*time.Millisecond, func() {})
+	})
+	s.Run()
+}
+
+func TestRunUntil(t *testing.T) {
+	s := NewScheduler(1)
+	var fired []time.Duration
+	for _, d := range []time.Duration{10, 20, 30, 40} {
+		d := d * time.Millisecond
+		s.At(d, func() { fired = append(fired, d) })
+	}
+	s.RunUntil(25 * time.Millisecond)
+	if len(fired) != 2 {
+		t.Fatalf("fired %d events, want 2", len(fired))
+	}
+	if s.Now() != 25*time.Millisecond {
+		t.Fatalf("clock = %v, want 25ms", s.Now())
+	}
+	// Remaining events still run afterwards.
+	s.Run()
+	if len(fired) != 4 {
+		t.Fatalf("fired %d events total, want 4", len(fired))
+	}
+}
+
+func TestRunUntilAdvancesIdleClock(t *testing.T) {
+	s := NewScheduler(1)
+	s.RunUntil(time.Second)
+	if s.Now() != time.Second {
+		t.Fatalf("clock = %v, want 1s", s.Now())
+	}
+}
+
+func TestStop(t *testing.T) {
+	s := NewScheduler(1)
+	count := 0
+	for i := 1; i <= 5; i++ {
+		s.At(time.Duration(i)*time.Millisecond, func() {
+			count++
+			if count == 2 {
+				s.Stop()
+			}
+		})
+	}
+	s.Run()
+	if count != 2 {
+		t.Fatalf("ran %d events after Stop, want 2", count)
+	}
+}
+
+func TestTimerResetAndStop(t *testing.T) {
+	s := NewScheduler(1)
+	fired := 0
+	tm := NewTimer(s, func() { fired++ })
+	if tm.Armed() {
+		t.Fatal("new timer is armed")
+	}
+	tm.Reset(10 * time.Millisecond)
+	if !tm.Armed() {
+		t.Fatal("Reset did not arm timer")
+	}
+	// Re-arming supersedes the previous deadline.
+	tm.Reset(50 * time.Millisecond)
+	if got := tm.Deadline(); got != 50*time.Millisecond {
+		t.Fatalf("deadline = %v, want 50ms", got)
+	}
+	s.RunUntil(30 * time.Millisecond)
+	if fired != 0 {
+		t.Fatal("superseded deadline fired")
+	}
+	s.RunUntil(60 * time.Millisecond)
+	if fired != 1 {
+		t.Fatalf("fired = %d, want 1", fired)
+	}
+	if tm.Armed() {
+		t.Fatal("timer still armed after firing")
+	}
+
+	tm.Reset(10 * time.Millisecond)
+	tm.Stop()
+	s.Run()
+	if fired != 1 {
+		t.Fatal("stopped timer fired")
+	}
+}
+
+func TestDeterministicRand(t *testing.T) {
+	a := NewScheduler(42)
+	b := NewScheduler(42)
+	for i := 0; i < 100; i++ {
+		if a.Rand().Int63() != b.Rand().Int63() {
+			t.Fatal("same seed produced different sequences")
+		}
+	}
+}
+
+func TestPendingCount(t *testing.T) {
+	s := NewScheduler(1)
+	s.At(time.Millisecond, func() {})
+	s.At(2*time.Millisecond, func() {})
+	if s.Pending() != 2 {
+		t.Fatalf("Pending = %d, want 2", s.Pending())
+	}
+	s.Run()
+	if s.Pending() != 0 {
+		t.Fatalf("Pending = %d after Run, want 0", s.Pending())
+	}
+}

@@ -1,0 +1,242 @@
+package tcp
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSendBufferAppendAckRead(t *testing.T) {
+	b := newSendBuffer(10)
+	b.setBase(100)
+	if n := b.append([]byte("hello world!")); n != 10 {
+		t.Fatalf("append took %d, want 10 (capacity)", n)
+	}
+	if got := b.bytesFrom(100, 5); string(got) != "hello" {
+		t.Fatalf("bytesFrom(100) = %q", got)
+	}
+	if got := b.bytesFrom(105, 100); string(got) != " worl" {
+		t.Fatalf("bytesFrom(105) = %q", got)
+	}
+	b.ackTo(105)
+	if b.len() != 5 || b.free() != 5 {
+		t.Fatalf("after ack len=%d free=%d", b.len(), b.free())
+	}
+	if got := b.bytesFrom(100, 5); got != nil {
+		t.Fatal("acked bytes still readable")
+	}
+	if b.endSeq() != 110 {
+		t.Fatalf("endSeq = %d, want 110", b.endSeq())
+	}
+}
+
+func TestSendBufferAckBeyondIsClamped(t *testing.T) {
+	b := newSendBuffer(10)
+	b.setBase(0)
+	b.append([]byte("abc"))
+	b.ackTo(100) // nonsense ack far beyond; must not panic or corrupt
+	if b.len() != 0 {
+		t.Fatalf("len = %d, want 0", b.len())
+	}
+}
+
+func TestSendBufferOldAckIgnored(t *testing.T) {
+	b := newSendBuffer(10)
+	b.setBase(100)
+	b.append([]byte("abcde"))
+	b.ackTo(99) // old ack below base
+	if b.len() != 5 {
+		t.Fatalf("old ack trimmed buffer: len=%d", b.len())
+	}
+}
+
+func TestReceiverInOrderDeposit(t *testing.T) {
+	r := newReceiver(100)
+	r.setNext(1000)
+	r.insert(1000, []byte("abc"))
+	n := r.depositUpTo(Seq(1000).Add(1000))
+	if n != 3 {
+		t.Fatalf("deposited %d, want 3", n)
+	}
+	p := make([]byte, 10)
+	if got := r.read(p); got != 3 || string(p[:3]) != "abc" {
+		t.Fatalf("read %d %q", got, p[:got])
+	}
+	if r.rcvNxt != 1003 {
+		t.Fatalf("rcvNxt = %d, want 1003", r.rcvNxt)
+	}
+}
+
+func TestReceiverHoleBlocksDeposit(t *testing.T) {
+	r := newReceiver(100)
+	r.setNext(0)
+	r.insert(5, []byte("later"))
+	if n := r.depositUpTo(1000); n != 0 {
+		t.Fatalf("deposited %d across a hole", n)
+	}
+	r.insert(0, []byte("early"))
+	if n := r.depositUpTo(1000); n != 10 {
+		t.Fatalf("deposited %d after filling hole, want 10", n)
+	}
+	p := make([]byte, 10)
+	r.read(p)
+	if string(p) != "earlylater" {
+		t.Fatalf("stream = %q", p)
+	}
+}
+
+func TestReceiverDepositGate(t *testing.T) {
+	// The HydraNet-FT invariant: bytes at or above the gate stay pending.
+	r := newReceiver(100)
+	r.setNext(0)
+	r.insert(0, []byte("0123456789"))
+	if n := r.depositUpTo(4); n != 4 {
+		t.Fatalf("gated deposit = %d, want 4", n)
+	}
+	if r.rcvNxt != 4 {
+		t.Fatalf("rcvNxt = %d, want 4 (the ACK we may emit)", r.rcvNxt)
+	}
+	if n := r.depositUpTo(10); n != 6 {
+		t.Fatalf("release deposited %d, want 6", n)
+	}
+	p := make([]byte, 16)
+	n := r.read(p)
+	if string(p[:n]) != "0123456789" {
+		t.Fatalf("stream = %q", p[:n])
+	}
+}
+
+func TestReceiverCapacityBoundsDeposit(t *testing.T) {
+	r := newReceiver(4)
+	r.setNext(0)
+	r.insert(0, []byte("abcdefgh"))
+	if n := r.depositUpTo(100); n != 4 {
+		t.Fatalf("deposited %d, want 4 (socket buffer full)", n)
+	}
+	if w := r.window(); w != 0 {
+		t.Fatalf("window = %d, want 0", w)
+	}
+	p := make([]byte, 2)
+	r.read(p)
+	if n := r.depositUpTo(100); n != 2 {
+		t.Fatalf("deposited %d after partial read, want 2", n)
+	}
+}
+
+func TestReceiverDuplicateAndOverlap(t *testing.T) {
+	r := newReceiver(100)
+	r.setNext(0)
+	if isNew := r.insert(0, []byte("abcd")); !isNew {
+		t.Fatal("fresh data reported as duplicate")
+	}
+	r.depositUpTo(100)
+	if isNew := r.insert(0, []byte("abcd")); isNew {
+		t.Fatal("fully old data reported as new")
+	}
+	// Overlapping: bytes 2..6 where 0..4 deposited: partially new.
+	if isNew := r.insert(2, []byte("cdEF")); !isNew {
+		t.Fatal("partially new data reported as duplicate")
+	}
+	r.depositUpTo(100)
+	p := make([]byte, 10)
+	n := r.read(p)
+	if string(p[:n]) != "abcdEF" {
+		t.Fatalf("stream = %q, want abcdEF", p[:n])
+	}
+}
+
+func TestReceiverFIN(t *testing.T) {
+	r := newReceiver(100)
+	r.setNext(0)
+	r.noteFIN(4)
+	r.insert(0, []byte("data"))
+	if r.finReady() {
+		t.Fatal("FIN ready before data deposited")
+	}
+	r.depositUpTo(100)
+	if !r.finReady() {
+		t.Fatal("FIN not ready after deposit")
+	}
+	r.consumeFIN()
+	if r.rcvNxt != 5 {
+		t.Fatalf("rcvNxt = %d after FIN, want 5", r.rcvNxt)
+	}
+}
+
+// Property: any segmentation of a stream, delivered in any order with
+// duplicates, deposited under an arbitrary sequence of rising gates,
+// reconstructs exactly the original stream.
+func TestReceiverPropertyStreamIntegrity(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	f := func(streamLen uint16, baseRaw uint32, nGates uint8) bool {
+		n := int(streamLen)%5000 + 1
+		base := Seq(baseRaw)
+		stream := make([]byte, n)
+		rng.Read(stream)
+
+		// Random segmentation.
+		type segm struct {
+			off, ln int
+		}
+		var segs []segm
+		for off := 0; off < n; {
+			ln := rng.Intn(1200) + 1
+			if off+ln > n {
+				ln = n - off
+			}
+			segs = append(segs, segm{off, ln})
+			off += ln
+		}
+		// Shuffle and duplicate.
+		order := rng.Perm(len(segs))
+		var deliver []segm
+		for _, i := range order {
+			deliver = append(deliver, segs[i])
+			if rng.Intn(4) == 0 {
+				deliver = append(deliver, segs[i])
+			}
+		}
+
+		r := newReceiver(1 << 20)
+		r.setNext(base)
+		var got []byte
+		buf := make([]byte, 4096)
+		deposit := func(limit Seq) {
+			r.depositUpTo(limit)
+			for {
+				k := r.read(buf)
+				if k == 0 {
+					break
+				}
+				got = append(got, buf[:k]...)
+			}
+		}
+		gateCount := int(nGates)%5 + 1
+		for i, sg := range deliver {
+			r.insert(base.Add(sg.off), stream[sg.off:sg.off+sg.ln])
+			if i%maxInt(len(deliver)/gateCount, 1) == 0 {
+				deposit(base.Add(rng.Intn(n + 1)))
+			}
+		}
+		deposit(base.Add(n))
+		return bytes.Equal(got, stream)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReceiverWraparoundSequence(t *testing.T) {
+	// Stream crossing the 2^32 boundary.
+	r := newReceiver(100)
+	base := Seq(0xfffffffa)
+	r.setNext(base)
+	r.insert(base, []byte("0123456789")) // crosses wrap
+	if n := r.depositUpTo(base.Add(10)); n != 10 {
+		t.Fatalf("deposited %d across wrap, want 10", n)
+	}
+	if r.rcvNxt != 4 {
+		t.Fatalf("rcvNxt = %d, want 4 (wrapped)", uint32(r.rcvNxt))
+	}
+}

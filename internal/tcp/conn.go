@@ -1,0 +1,784 @@
+package tcp
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"hydranet/internal/ipv4"
+	"hydranet/internal/sim"
+)
+
+// State is a TCP connection state (RFC 793).
+type State int
+
+// Connection states.
+const (
+	StateClosed State = iota + 1
+	StateListen
+	StateSynSent
+	StateSynRcvd
+	StateEstablished
+	StateFinWait1
+	StateFinWait2
+	StateCloseWait
+	StateClosing
+	StateLastAck
+	StateTimeWait
+)
+
+var stateNames = map[State]string{
+	StateClosed: "CLOSED", StateListen: "LISTEN", StateSynSent: "SYN-SENT",
+	StateSynRcvd: "SYN-RCVD", StateEstablished: "ESTABLISHED",
+	StateFinWait1: "FIN-WAIT-1", StateFinWait2: "FIN-WAIT-2",
+	StateCloseWait: "CLOSE-WAIT", StateClosing: "CLOSING",
+	StateLastAck: "LAST-ACK", StateTimeWait: "TIME-WAIT",
+}
+
+func (s State) String() string {
+	if n, ok := stateNames[s]; ok {
+		return n
+	}
+	return fmt.Sprintf("State(%d)", int(s))
+}
+
+// Endpoint identifies one end of a connection.
+type Endpoint struct {
+	Addr ipv4.Addr
+	Port uint16
+}
+
+// String renders addr:port.
+func (e Endpoint) String() string { return fmt.Sprintf("%s:%d", e.Addr, e.Port) }
+
+// Errors surfaced through the OnClosed callback.
+var (
+	ErrReset      = errors.New("tcp: connection reset by peer")
+	ErrRefused    = errors.New("tcp: connection refused")
+	ErrTimeout    = errors.New("tcp: retransmission limit exceeded")
+	ErrClosed     = errors.New("tcp: connection closed")
+	ErrListenBusy = errors.New("tcp: address already listening")
+)
+
+// ConnHooks are the ft-TCP extension points (paper Section 4). A plain TCP
+// endpoint leaves all fields nil. The HydraNet-FT core installs them on
+// replica-side connections.
+type ConnHooks struct {
+	// SuppressTransmit is consulted before each segment reaches the wire.
+	// Returning true diverts the segment: it is not transmitted, but the
+	// connection state advances as if it were. Backup replicas use this to
+	// strip segments to their flow-control fields for the acknowledgment
+	// channel.
+	SuppressTransmit func(seg *Segment) bool
+	// DepositLimit bounds rcvNxt: bytes at or above the limit stay pending
+	// and unacknowledged. Absent (ok=false) means unlimited. This realizes
+	// the paper's rule that server Si deposits byte k only after S(i+1)
+	// acknowledged past k.
+	DepositLimit func() (limit Seq, ok bool)
+	// SendLimit bounds sndNxt the same way for the outbound stream.
+	SendLimit func() (limit Seq, ok bool)
+	// OnPeerRetransmit fires when the peer demonstrably retransmitted
+	// (data wholly below rcvNxt, or a duplicate SYN). It feeds the
+	// low-latency failure estimator.
+	OnPeerRetransmit func()
+	// OnRTO fires when this endpoint's own retransmission timer expires —
+	// the server-push-direction analogue of OnPeerRetransmit: a replica
+	// retransmitting repeatedly without progress means the flow-control
+	// loop is broken somewhere even if the client has nothing to send.
+	OnRTO func()
+	// OnAckProgress fires when an acknowledgment advances sndUna: the
+	// outbound loop is healthy, so the failure estimator resets.
+	OnAckProgress func()
+	// OnDeposit fires after rcvNxt advances, so a replica can forward its
+	// new flow-control state up the acknowledgment channel.
+	OnDeposit func()
+	// OnClosed fires when the connection terminates for any reason,
+	// independent of the application's OnClosed callback.
+	OnClosed func(err error)
+}
+
+// ConnStats counts per-connection protocol events.
+type ConnStats struct {
+	SegsSent        uint64 // segments passed to the wire (not suppressed)
+	SegsSuppressed  uint64 // segments diverted by SuppressTransmit
+	SegsReceived    uint64
+	BytesSent       uint64 // payload bytes, first transmission only
+	BytesReceived   uint64 // payload bytes deposited
+	Retransmits     uint64 // data segments retransmitted
+	RTOEvents       uint64 // retransmission timeouts fired
+	FastRetransmits uint64
+	DupAcksSeen     uint64
+	PeerRetransmits uint64 // retransmissions observed from the peer
+}
+
+// Conn is one TCP endpoint.
+type Conn struct {
+	stack  *Stack
+	local  Endpoint
+	remote Endpoint
+	state  State
+
+	// Send sequence space.
+	iss       Seq
+	sndUna    Seq
+	sndNxt    Seq
+	sndMax    Seq // highest sequence ever sent (for Karn under go-back-N)
+	sndWnd    int
+	sndBuf    *sendBuffer
+	finQueued bool
+	finSent   bool
+	mss       int
+
+	// Congestion control (Reno-style).
+	cwnd           int
+	ssthresh       int
+	dupAcks        int
+	recover        Seq
+	inFastRecovery bool
+
+	// Receive sequence space.
+	irs Seq
+	rcv *receiver
+
+	// Timers and RTT.
+	rtx          *sim.Timer
+	delack       *sim.Timer
+	persist      *sim.Timer
+	timewait     *sim.Timer
+	rto          *rtoEstimator
+	rttSeq       Seq
+	rttAt        time.Duration
+	rttPending   bool
+	rtxCount     int // consecutive timeouts without progress
+	persistShift uint
+
+	noDelay  bool
+	hooks    ConnHooks
+	stats    ConnStats
+	acceptFn func(*Conn) // listener accept, fired on transition to ESTABLISHED
+
+	// Keepalive (RFC 1122 §4.2.3.6): after an idle interval, probe the
+	// peer; unanswered probes terminate the connection. Off by default.
+	keepalive         *sim.Timer
+	keepaliveIdle     time.Duration
+	keepaliveInterval time.Duration
+	keepaliveProbes   int
+	probesSent        int
+	lastActivity      time.Duration
+
+	lastAdvertisedWnd int
+	peerFINSeen       bool
+
+	onConnected func()
+	onReadable  func()
+	onWritable  func()
+	onClosed    func(err error)
+	terminated  bool
+}
+
+func newConn(st *Stack, local, remote Endpoint) *Conn {
+	c := &Conn{
+		stack:             st,
+		local:             local,
+		remote:            remote,
+		state:             StateClosed,
+		sndBuf:            newSendBuffer(st.cfg.SendBufSize),
+		rcv:               newReceiver(st.cfg.RecvBufSize),
+		mss:               st.cfg.MSS,
+		sndWnd:            0,
+		rto:               newRTOEstimator(st.cfg.InitialRTO, st.cfg.MinRTO, st.cfg.MaxRTO),
+		lastAdvertisedWnd: st.cfg.RecvBufSize,
+	}
+	c.cwnd = st.cfg.InitialCwnd * c.mss
+	c.ssthresh = 64 * 1024
+	c.rtx = sim.NewTimer(st.sched, c.onRetransmitTimeout)
+	c.delack = sim.NewTimer(st.sched, c.onDelayedAck)
+	c.persist = sim.NewTimer(st.sched, c.onPersist)
+	c.timewait = sim.NewTimer(st.sched, c.onTimeWaitDone)
+	return c
+}
+
+// Local returns the connection's local endpoint (a virtual-host address on
+// HydraNet host servers).
+func (c *Conn) Local() Endpoint { return c.local }
+
+// Remote returns the peer endpoint.
+func (c *Conn) Remote() Endpoint { return c.remote }
+
+// State returns the connection state.
+func (c *Conn) State() State { return c.state }
+
+// Stats returns a snapshot of the connection counters.
+func (c *Conn) Stats() ConnStats { return c.stats }
+
+// ISS returns the initial send sequence number.
+func (c *Conn) ISS() Seq { return c.iss }
+
+// SndNxt returns the next send sequence number.
+func (c *Conn) SndNxt() Seq { return c.sndNxt }
+
+// SndUna returns the oldest unacknowledged sequence number.
+func (c *Conn) SndUna() Seq { return c.sndUna }
+
+// RcvNxt returns the next expected (deposited-through) sequence number —
+// exactly the ACK number this endpoint advertises.
+func (c *Conn) RcvNxt() Seq { return c.rcv.rcvNxt }
+
+// SetNoDelay disables Nagle batching of small segments. The paper's
+// measurements run with sender-side batching off.
+func (c *Conn) SetNoDelay(on bool) { c.noDelay = on }
+
+// SetSegmentPerWrite preserves application write boundaries: no segment
+// ever coalesces bytes from two Write calls, even on retransmission. This
+// reproduces the paper's measurement configuration ("we turned off
+// buffering of small segments at the TCP sender, preventing it from
+// batching multiple small segments into a segment of MTU size"). Combine
+// with SetNoDelay. A partial Write (full buffer) splits one logical write
+// into two segments; callers that care should check WriteFree first.
+func (c *Conn) SetSegmentPerWrite(on bool) { c.sndBuf.marking = on }
+
+// SetHooks installs or replaces the ft-TCP hooks.
+func (c *Conn) SetHooks(h ConnHooks) { c.hooks = h }
+
+// Hooks returns the installed hooks.
+func (c *Conn) Hooks() ConnHooks { return c.hooks }
+
+// OnConnected registers the callback fired when the handshake completes.
+func (c *Conn) OnConnected(fn func()) { c.onConnected = fn }
+
+// OnReadable registers the callback fired when deposited data (or EOF)
+// becomes available.
+func (c *Conn) OnReadable(fn func()) { c.onReadable = fn }
+
+// OnWritable registers the callback fired when send-buffer space frees up.
+func (c *Conn) OnWritable(fn func()) { c.onWritable = fn }
+
+// OnClosed registers the callback fired when the connection terminates.
+// err is nil for an orderly shutdown.
+func (c *Conn) OnClosed(fn func(err error)) { c.onClosed = fn }
+
+// Write appends p to the send buffer and returns how many bytes were
+// accepted (possibly zero when the buffer is full — OnWritable will fire).
+func (c *Conn) Write(p []byte) int {
+	switch c.state {
+	case StateEstablished, StateCloseWait, StateSynRcvd, StateSynSent:
+	default:
+		return 0
+	}
+	if c.finQueued {
+		return 0
+	}
+	n := c.sndBuf.append(p)
+	c.output()
+	return n
+}
+
+// WriteFree returns the free space in the send buffer.
+func (c *Conn) WriteFree() int { return c.sndBuf.free() }
+
+// Read drains up to len(p) deposited bytes. It returns 0 both when no data
+// is available and at EOF; use PeerClosed to distinguish.
+func (c *Conn) Read(p []byte) int {
+	wasZero := c.rcv.window() == 0
+	n := c.rcv.read(p)
+	if n > 0 {
+		// Deposits may have been blocked on socket-buffer space.
+		c.depositAndAck()
+		if wasZero && c.rcv.window() > 0 {
+			c.sendAck()
+		}
+	}
+	return n
+}
+
+// Readable returns the number of deposited, unread bytes.
+func (c *Conn) Readable() int { return c.rcv.readable() }
+
+// PeerClosed reports whether the peer's FIN has been consumed: Read
+// returning 0 then means EOF.
+func (c *Conn) PeerClosed() bool { return c.peerFINSeen }
+
+// Close initiates an orderly shutdown: buffered data is still delivered,
+// then a FIN is sent.
+func (c *Conn) Close() {
+	switch c.state {
+	case StateClosed, StateListen:
+		c.terminate(ErrClosed)
+		return
+	case StateSynSent:
+		// A close during an active open with buffered data completes the
+		// handshake first, then sends the FIN; with nothing buffered the
+		// open is abandoned.
+		if c.sndBuf.len() == 0 {
+			c.terminate(ErrClosed)
+			return
+		}
+	}
+	if c.finQueued {
+		return
+	}
+	c.finQueued = true
+	c.output()
+}
+
+// Abort sends a RST and terminates immediately.
+func (c *Conn) Abort() {
+	if c.state != StateClosed && c.state != StateListen && c.state != StateSynSent {
+		c.sendRST(c.sndNxt)
+	}
+	c.terminate(ErrReset)
+}
+
+// Poke re-evaluates deposit and send gates. The ft-TCP core calls it when
+// acknowledgment-channel state changes.
+func (c *Conn) Poke() {
+	if c.terminated {
+		return
+	}
+	if c.state == StateSynRcvd && c.sndNxt == c.iss {
+		// The SYN-ACK was withheld by the send gate; retry it now.
+		c.sendSynAck()
+	}
+	c.depositAndAck()
+	c.output()
+}
+
+// ForceRetransmit resends from sndUna immediately and clears RTO backoff.
+// Used on failover promotion so the new primary repairs the client's stream
+// without waiting out a backed-off timer.
+func (c *Conn) ForceRetransmit() {
+	if c.terminated {
+		return
+	}
+	c.rto.resetBackoff()
+	if c.sndNxt != c.sndUna {
+		c.goBackN()
+		c.output()
+		c.armRTX()
+	}
+	c.sendAck()
+}
+
+// goBackN pulls the send cursor back to the oldest unacknowledged byte
+// (classic BSD behaviour on retransmission timeout): everything beyond
+// sndUna is resent under ACK clocking instead of one segment per timeout.
+func (c *Conn) goBackN() {
+	if c.sndNxt == c.sndUna {
+		return
+	}
+	c.sndNxt = c.sndUna
+	if c.finSent {
+		// The FIN is beyond the pulled-back cursor; output re-sends it.
+		c.finSent = false
+		switch c.state {
+		case StateFinWait1, StateClosing:
+			c.state = StateEstablished
+			if c.peerFINSeen {
+				c.state = StateCloseWait
+			}
+		case StateLastAck:
+			c.state = StateCloseWait
+		}
+	}
+}
+
+// --- Handshake initiation -------------------------------------------------
+
+// open starts the active-open handshake (stack.Connect).
+func (c *Conn) open() {
+	c.iss = c.stack.cfg.ISS(c.local, c.remote)
+	c.sndUna = c.iss
+	c.sndNxt = c.iss
+	c.sndBuf.setBase(c.iss.Add(1))
+	c.state = StateSynSent
+	c.sendSegment(&Segment{
+		Flags: FlagSYN, Seq: c.iss, MSS: uint16(c.stack.cfg.MSS),
+		Window: c.windowField(),
+	})
+	c.sndNxt = c.iss.Add(1)
+	c.sndMax = c.sndNxt
+	c.armRTX()
+}
+
+// openPassive initializes server-side state from a received SYN.
+func (c *Conn) openPassive(seg *Segment) {
+	c.iss = c.stack.cfg.ISS(c.local, c.remote)
+	c.sndUna = c.iss
+	c.sndNxt = c.iss
+	c.sndBuf.setBase(c.iss.Add(1))
+	c.irs = seg.Seq
+	c.rcv.setNext(seg.Seq.Add(1))
+	if seg.MSS != 0 && int(seg.MSS) < c.mss {
+		c.mss = int(seg.MSS)
+	}
+	c.sndWnd = int(seg.Window)
+	c.state = StateSynRcvd
+	c.sendSynAck()
+	c.armRTX()
+}
+
+func (c *Conn) sendSynAck() {
+	// The SYN-ACK occupies sequence number iss; the send gate applies to
+	// it like any other byte (chain successors' SYN-ACKs release it).
+	if limit, ok := c.sendLimit(); ok && limit.LEQ(c.iss) {
+		return
+	}
+	c.sendSegment(&Segment{
+		Flags: FlagSYN | FlagACK, Seq: c.iss, Ack: c.rcv.rcvNxt,
+		MSS: uint16(c.stack.cfg.MSS), Window: c.windowField(),
+	})
+	if c.sndNxt == c.iss {
+		c.sndNxt = c.iss.Add(1)
+	}
+	if c.sndNxt.GT(c.sndMax) {
+		c.sndMax = c.sndNxt
+	}
+}
+
+// --- Output path ----------------------------------------------------------
+
+func (c *Conn) sendLimit() (Seq, bool) {
+	if c.hooks.SendLimit == nil {
+		return 0, false
+	}
+	return c.hooks.SendLimit()
+}
+
+func (c *Conn) depositLimit() (Seq, bool) {
+	if c.hooks.DepositLimit == nil {
+		return 0, false
+	}
+	return c.hooks.DepositLimit()
+}
+
+// output transmits as much new data as windows, gates and Nagle allow.
+func (c *Conn) output() {
+	if c.terminated {
+		return
+	}
+	switch c.state {
+	case StateEstablished, StateCloseWait, StateFinWait1, StateClosing, StateLastAck, StateSynRcvd:
+	default:
+		return
+	}
+	if c.state == StateSynRcvd {
+		return // nothing beyond the SYN-ACK until established
+	}
+	wnd := c.sndWnd
+	if c.cwnd < wnd {
+		wnd = c.cwnd
+	}
+	limit := c.sndUna.Add(wnd)
+	if gl, ok := c.sendLimit(); ok {
+		limit = MinSeq(limit, gl)
+	}
+	dataEnd := c.sndBuf.endSeq()
+	sentSomething := false
+	for c.sndNxt.LT(limit) && c.sndNxt.LT(dataEnd) {
+		space := limit.Diff(c.sndNxt)
+		chunk := c.sndBuf.bytesFrom(c.sndNxt, c.mss)
+		if len(chunk) == 0 {
+			break
+		}
+		if len(chunk) > space {
+			if c.sndBuf.marking {
+				// Segment-per-write mode: never split a write at the
+				// window edge; wait for the window to open.
+				break
+			}
+			chunk = chunk[:space]
+		}
+		full := len(chunk) == c.mss
+		last := c.sndNxt.Add(len(chunk)) == dataEnd
+		if !full && !c.noDelay && c.sndNxt != c.sndUna {
+			break // Nagle: one small segment in flight at a time
+		}
+		flags := FlagACK
+		if last || !full {
+			flags |= FlagPSH
+		}
+		fin := false
+		if c.finQueued && last && c.finAllowed(c.sndNxt.Add(len(chunk))) {
+			flags |= FlagFIN
+			fin = true
+		}
+		c.sendSegment(&Segment{
+			Flags: flags, Seq: c.sndNxt, Ack: c.rcv.rcvNxt,
+			Window: c.windowField(), Payload: chunk,
+		})
+		fresh := c.sndNxt.Add(len(chunk)).GT(c.sndMax)
+		if fresh {
+			c.stats.BytesSent += uint64(len(chunk))
+		} else {
+			c.stats.Retransmits++
+		}
+		if !c.rttPending && fresh {
+			// Karn: never sample a chunk that overlaps retransmitted data.
+			c.rttPending = true
+			c.rttSeq = c.sndNxt.Add(len(chunk))
+			c.rttAt = c.stack.sched.Now()
+		}
+		c.sndNxt = c.sndNxt.Add(len(chunk))
+		if fin {
+			c.finSent = true
+			c.sndNxt = c.sndNxt.Add(1)
+			c.finStateTransition()
+		}
+		if c.sndNxt.GT(c.sndMax) {
+			c.sndMax = c.sndNxt
+		}
+		sentSomething = true
+	}
+	// A FIN with no data left to carry it.
+	if c.finQueued && !c.finSent && c.sndNxt == dataEnd &&
+		c.sndNxt.LT(c.sndUna.Add(wnd+1)) && c.finAllowed(c.sndNxt) {
+		c.sendSegment(&Segment{
+			Flags: FlagFIN | FlagACK, Seq: c.sndNxt, Ack: c.rcv.rcvNxt,
+			Window: c.windowField(),
+		})
+		c.finSent = true
+		c.sndNxt = c.sndNxt.Add(1)
+		if c.sndNxt.GT(c.sndMax) {
+			c.sndMax = c.sndNxt
+		}
+		c.finStateTransition()
+		sentSomething = true
+	}
+	if sentSomething {
+		c.armRTX()
+		c.persist.Stop()
+		c.persistShift = 0
+		return
+	}
+	// Zero-window deadlock avoidance: if data waits but the peer's window
+	// is closed and nothing is in flight, arm the persist timer.
+	if c.sndWnd == 0 && c.sndNxt == c.sndUna && c.sndBuf.len() > 0 && !c.persist.Armed() {
+		c.persist.Reset(c.persistInterval())
+	}
+}
+
+// finAllowed applies the send gate to the FIN, which occupies finSeq.
+func (c *Conn) finAllowed(finSeq Seq) bool {
+	if limit, ok := c.sendLimit(); ok {
+		return limit.GT(finSeq)
+	}
+	return true
+}
+
+func (c *Conn) finStateTransition() {
+	switch c.state {
+	case StateEstablished:
+		c.state = StateFinWait1
+	case StateCloseWait:
+		c.state = StateLastAck
+	}
+}
+
+func (c *Conn) persistInterval() time.Duration {
+	d := time.Second << c.persistShift
+	if d > 60*time.Second {
+		d = 60 * time.Second
+	}
+	return d
+}
+
+func (c *Conn) onPersist() {
+	if c.terminated || c.sndWnd > 0 || c.sndBuf.len() == 0 {
+		return
+	}
+	// Window probe: one byte beyond the advertised window.
+	probe := c.sndBuf.bytesFrom(c.sndNxt, 1)
+	if len(probe) == 1 {
+		if gl, ok := c.sendLimit(); !ok || gl.GT(c.sndNxt) {
+			c.sendSegment(&Segment{
+				Flags: FlagACK | FlagPSH, Seq: c.sndNxt, Ack: c.rcv.rcvNxt,
+				Window: c.windowField(), Payload: probe,
+			})
+		}
+	}
+	c.persistShift++
+	c.persist.Reset(c.persistInterval())
+}
+
+func (c *Conn) windowField() uint16 {
+	w := c.rcv.window()
+	if w > 0xffff {
+		w = 0xffff
+	}
+	c.lastAdvertisedWnd = w
+	return uint16(w)
+}
+
+// sendAck emits an immediate pure ACK.
+func (c *Conn) sendAck() {
+	if c.terminated {
+		return
+	}
+	switch c.state {
+	case StateClosed, StateListen, StateSynSent:
+		return
+	}
+	c.delack.Stop()
+	c.sendSegment(&Segment{
+		Flags: FlagACK, Seq: c.sndNxt, Ack: c.rcv.rcvNxt, Window: c.windowField(),
+	})
+}
+
+func (c *Conn) scheduleAck() {
+	if c.stack.cfg.DelayedAckTimeout <= 0 {
+		c.sendAck()
+		return
+	}
+	if c.delack.Armed() {
+		// Second segment since the last ACK: ack now (RFC 1122).
+		c.sendAck()
+		return
+	}
+	c.delack.Reset(c.stack.cfg.DelayedAckTimeout)
+}
+
+func (c *Conn) onDelayedAck() {
+	c.sendAck()
+}
+
+// sendSegment finalizes ports and hands the segment to the wire, honouring
+// the suppression hook.
+func (c *Conn) sendSegment(seg *Segment) {
+	seg.SrcPort = c.local.Port
+	seg.DstPort = c.remote.Port
+	if c.hooks.SuppressTransmit != nil && c.hooks.SuppressTransmit(seg) {
+		c.stats.SegsSuppressed++
+		return
+	}
+	c.stats.SegsSent++
+	c.stack.transmit(c.local, c.remote, seg)
+}
+
+func (c *Conn) sendRST(seq Seq) {
+	c.sendSegment(&Segment{Flags: FlagRST | FlagACK, Seq: seq, Ack: c.rcv.rcvNxt})
+}
+
+// --- Retransmission -------------------------------------------------------
+
+func (c *Conn) armRTX() {
+	if c.sndNxt == c.sndUna && c.state != StateSynSent && c.state != StateSynRcvd {
+		c.rtx.Stop()
+		return
+	}
+	c.rtx.Reset(c.rto.current())
+}
+
+func (c *Conn) onRetransmitTimeout() {
+	if c.terminated {
+		return
+	}
+	c.rtxCount++
+	c.stats.RTOEvents++
+	if c.rtxCount > c.stack.cfg.MaxRetries {
+		c.terminate(ErrTimeout)
+		return
+	}
+	if c.hooks.OnRTO != nil {
+		c.hooks.OnRTO()
+	}
+	// Collapse the congestion window (Tahoe-style on timeout).
+	flight := c.sndNxt.Diff(c.sndUna)
+	c.ssthresh = maxInt(flight/2, 2*c.mss)
+	c.cwnd = c.mss
+	c.dupAcks = 0
+	c.inFastRecovery = false
+	c.rto.timedOut()
+	c.rttPending = false // Karn: do not sample retransmitted segments
+	switch c.state {
+	case StateSynSent, StateSynRcvd:
+		c.retransmitOne()
+	default:
+		c.goBackN()
+		c.output()
+	}
+	c.armRTX()
+}
+
+// retransmitOne resends the earliest unacknowledged item (SYN, data, or FIN).
+func (c *Conn) retransmitOne() {
+	switch c.state {
+	case StateSynSent:
+		c.sendSegment(&Segment{
+			Flags: FlagSYN, Seq: c.iss, MSS: uint16(c.stack.cfg.MSS), Window: c.windowField(),
+		})
+		return
+	case StateSynRcvd:
+		c.sendSynAck()
+		return
+	}
+	chunk := c.sndBuf.bytesFrom(c.sndUna, c.mss)
+	if len(chunk) > 0 {
+		flags := FlagACK | FlagPSH
+		if c.finSent && c.sndUna.Add(len(chunk)).Add(1) == c.sndNxt {
+			flags |= FlagFIN
+		}
+		c.stats.Retransmits++
+		c.sendSegment(&Segment{
+			Flags: flags, Seq: c.sndUna, Ack: c.rcv.rcvNxt,
+			Window: c.windowField(), Payload: chunk,
+		})
+		return
+	}
+	if c.finSent && c.sndUna.Add(1) == c.sndNxt {
+		c.stats.Retransmits++
+		c.sendSegment(&Segment{
+			Flags: FlagFIN | FlagACK, Seq: c.sndUna, Ack: c.rcv.rcvNxt, Window: c.windowField(),
+		})
+	}
+}
+
+// --- Termination ----------------------------------------------------------
+
+func (c *Conn) enterTimeWait() {
+	c.state = StateTimeWait
+	c.rtx.Stop()
+	c.delack.Stop()
+	c.persist.Stop()
+	c.timewait.Reset(c.stack.cfg.TimeWaitDuration)
+}
+
+func (c *Conn) onTimeWaitDone() {
+	c.terminate(nil)
+}
+
+// terminate tears the connection down and notifies callbacks exactly once.
+func (c *Conn) terminate(err error) {
+	if c.terminated {
+		return
+	}
+	c.terminated = true
+	c.state = StateClosed
+	c.rtx.Stop()
+	c.delack.Stop()
+	c.persist.Stop()
+	c.timewait.Stop()
+	if c.keepalive != nil {
+		c.keepalive.Stop()
+	}
+	c.stack.removeConn(c)
+	if c.hooks.OnClosed != nil {
+		c.hooks.OnClosed(err)
+	}
+	if c.onClosed != nil {
+		c.onClosed(err)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,26 @@
+// Package tcp implements a from-scratch TCP over the simulated IPv4 stack,
+// providing both ordinary endpoints (clients, plain servers) and the
+// extension points HydraNet-FT hooks into on server replicas.
+//
+// Implemented: the RFC 793 state machine (LISTEN through TIME-WAIT),
+// three-way handshake with MSS negotiation, sliding-window flow control
+// with zero-window probing, cumulative acknowledgments with delayed-ACK
+// policy, RFC 6298-style RTO estimation with Karn's rule and exponential
+// backoff, go-back-N retransmission on timeout (classic BSD behaviour),
+// fast retransmit/fast recovery on triple duplicate ACKs, slow start and
+// congestion avoidance (Reno-style with a NewReno-like partial-ACK repair),
+// Nagle (switchable), keepalive probing, RST generation and handling, and
+// orderly close including simultaneous close.
+//
+// Deliberately omitted, as on the paper's late-90s FreeBSD: window scaling,
+// SACK, timestamps, ECN, and urgent data.
+//
+// The ft-TCP extension points (ConnHooks) let the HydraNet-FT core divert
+// outbound segments of backup replicas into the acknowledgment channel,
+// gate deposits (and thereby acknowledgments) and sends on chain state, and
+// observe the retransmission signals its failure estimator counts. Two
+// deviations from textbook TCP exist specifically for replica consistency:
+// the ISS derives deterministically from the connection 4-tuple, and
+// SetSegmentPerWrite preserves application write boundaries for the
+// paper's measurement methodology.
+package tcp

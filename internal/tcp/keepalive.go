@@ -1,0 +1,73 @@
+package tcp
+
+import (
+	"time"
+
+	"hydranet/internal/sim"
+)
+
+// SetKeepAlive enables keepalive probing: after idle of inactivity, a probe
+// segment (a pure ACK with seq = sndNxt-1, the classic garbage-byte probe
+// semantics without the garbage) is sent every interval; after probes
+// unanswered probes the connection is terminated with ErrTimeout.
+//
+// In HydraNet-FT deployments, client-side keepalive gives idle connections
+// a failure-detection path: the probes flow through the redirector to the
+// replicas, and a dead primary turns them into the repeated retransmissions
+// the failure estimator counts.
+func (c *Conn) SetKeepAlive(idle, interval time.Duration, probes int) {
+	if c.keepalive == nil {
+		c.keepalive = sim.NewTimer(c.stack.sched, c.onKeepAlive)
+	}
+	c.keepaliveIdle = idle
+	c.keepaliveInterval = interval
+	c.keepaliveProbes = probes
+	c.lastActivity = c.stack.sched.Now()
+	c.keepalive.Reset(idle)
+}
+
+// DisableKeepAlive stops probing.
+func (c *Conn) DisableKeepAlive() {
+	if c.keepalive != nil {
+		c.keepalive.Stop()
+	}
+	c.keepaliveIdle = 0
+}
+
+// IdleSince returns how long the connection has been without inbound
+// segments.
+func (c *Conn) IdleSince() time.Duration {
+	return c.stack.sched.Now() - c.lastActivity
+}
+
+// noteActivity records segment arrival for keepalive idleness tracking.
+func (c *Conn) noteActivity() {
+	c.lastActivity = c.stack.sched.Now()
+	c.probesSent = 0
+	if c.keepaliveIdle > 0 && c.keepalive != nil && c.state == StateEstablished {
+		c.keepalive.Reset(c.keepaliveIdle)
+	}
+}
+
+func (c *Conn) onKeepAlive() {
+	if c.terminated || c.keepaliveIdle == 0 {
+		return
+	}
+	switch c.state {
+	case StateEstablished, StateCloseWait:
+	default:
+		return
+	}
+	if c.probesSent >= c.keepaliveProbes {
+		c.terminate(ErrTimeout)
+		return
+	}
+	c.probesSent++
+	// A probe: pure ACK with an already-acknowledged sequence number. The
+	// peer answers with an ACK (our processing treats it as a plain ACK),
+	// which counts as activity and resets the cycle.
+	c.sendSegment(&Segment{
+		Flags: FlagACK, Seq: c.sndNxt.Add(-1), Ack: c.rcv.rcvNxt, Window: c.windowField(),
+	})
+	c.keepalive.Reset(c.keepaliveInterval)
+}

@@ -1,0 +1,83 @@
+package tcp
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestKeepAliveKeepsHealthyConnAlive(t *testing.T) {
+	e, cli, srv := establishedPair(t, Config{})
+	cli.SetKeepAlive(2*time.Second, 500*time.Millisecond, 3)
+	var cliErr error
+	cliClosed := false
+	cli.OnClosed(func(err error) { cliClosed, cliErr = true, err })
+	// A long idle period: probes flow, the peer answers, nothing dies.
+	e.sched.RunUntil(e.sched.Now() + time.Minute)
+	if cliClosed {
+		t.Fatalf("healthy idle connection died: %v", cliErr)
+	}
+	if srv.State() != StateEstablished || cli.State() != StateEstablished {
+		t.Fatalf("states: %v / %v", cli.State(), srv.State())
+	}
+}
+
+func TestKeepAliveDetectsDeadPeer(t *testing.T) {
+	e, cli, _ := establishedPair(t, Config{})
+	cli.SetKeepAlive(2*time.Second, 500*time.Millisecond, 3)
+	var cliErr error
+	cli.OnClosed(func(err error) { cliErr = err })
+	// Partition: the server disappears silently.
+	e.link.SetLoss(1.0)
+	e.sched.RunUntil(e.sched.Now() + time.Minute)
+	if !errors.Is(cliErr, ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout from keepalive", cliErr)
+	}
+}
+
+func TestKeepAliveDisabled(t *testing.T) {
+	e, cli, _ := establishedPair(t, Config{})
+	cli.SetKeepAlive(time.Second, 200*time.Millisecond, 2)
+	cli.DisableKeepAlive()
+	e.link.SetLoss(1.0)
+	closed := false
+	cli.OnClosed(func(error) { closed = true })
+	e.sched.RunUntil(e.sched.Now() + 30*time.Second)
+	if closed {
+		t.Fatal("disabled keepalive still killed an idle connection")
+	}
+}
+
+func TestKeepAliveResetByTraffic(t *testing.T) {
+	e, cli, srv := establishedPair(t, Config{})
+	cli.SetKeepAlive(3*time.Second, 500*time.Millisecond, 2)
+	probes := 0
+	e.server.SetTrace(func(dir string, _, _ Endpoint, seg *Segment) {
+		if dir == "in" && len(seg.Payload) == 0 && seg.Flags == FlagACK &&
+			seg.Seq.LT(srv.RcvNxt()) {
+			probes++
+		}
+	})
+	// Keep the connection busy more often than the idle threshold.
+	for i := 0; i < 10; i++ {
+		cli.Write([]byte("busy"))
+		e.sched.RunUntil(e.sched.Now() + 2*time.Second)
+	}
+	if probes != 0 {
+		t.Fatalf("%d keepalive probes despite constant traffic", probes)
+	}
+}
+
+func TestIdleSince(t *testing.T) {
+	e, cli, srv := establishedPair(t, Config{})
+	start := e.sched.Now()
+	e.sched.RunUntil(start + 10*time.Second)
+	if got := cli.IdleSince(); got < 9*time.Second {
+		t.Fatalf("IdleSince = %v after 10s of silence", got)
+	}
+	srv.Write([]byte("wake up"))
+	e.sched.RunUntil(e.sched.Now() + time.Second)
+	if got := cli.IdleSince(); got > time.Second {
+		t.Fatalf("IdleSince = %v right after traffic", got)
+	}
+}

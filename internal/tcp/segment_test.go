@@ -1,0 +1,129 @@
+package tcp
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"hydranet/internal/ipv4"
+)
+
+func TestSegmentRoundTrip(t *testing.T) {
+	f := func(srcPort, dstPort uint16, seq, ack uint32, flags uint8, window uint16, payload []byte) bool {
+		if len(payload) > 60000 {
+			payload = payload[:60000]
+		}
+		in := &Segment{
+			SrcPort: srcPort, DstPort: dstPort,
+			Seq: Seq(seq), Ack: Seq(ack),
+			Flags:  Flags(flags) & (FlagFIN | FlagSYN | FlagRST | FlagPSH | FlagACK | FlagURG),
+			Window: window, Payload: payload,
+		}
+		src, dst := ipv4.Addr(0x01020304), ipv4.Addr(0x05060708)
+		b := in.Marshal(src, dst)
+		out, err := UnmarshalSegment(src, dst, b)
+		if err != nil {
+			return false
+		}
+		return out.SrcPort == in.SrcPort && out.DstPort == in.DstPort &&
+			out.Seq == in.Seq && out.Ack == in.Ack && out.Flags == in.Flags &&
+			out.Window == in.Window && bytes.Equal(out.Payload, in.Payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSegmentMSSOption(t *testing.T) {
+	in := &Segment{Flags: FlagSYN, Seq: 100, MSS: 1460}
+	b := in.Marshal(1, 2)
+	out, err := UnmarshalSegment(1, 2, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.MSS != 1460 {
+		t.Errorf("MSS = %d, want 1460", out.MSS)
+	}
+}
+
+func TestSegmentChecksumCatchesCorruption(t *testing.T) {
+	in := &Segment{Flags: FlagACK, Seq: 1, Ack: 2, Payload: []byte("data")}
+	b := in.Marshal(1, 2)
+	b[len(b)-1] ^= 0x01
+	if _, err := UnmarshalSegment(1, 2, b); !errors.Is(err, ErrSegBadChecksum) {
+		t.Errorf("err = %v, want ErrSegBadChecksum", err)
+	}
+}
+
+func TestSegmentChecksumBindsAddresses(t *testing.T) {
+	in := &Segment{Flags: FlagACK, Seq: 1, Ack: 2}
+	b := in.Marshal(1, 2)
+	if _, err := UnmarshalSegment(9, 2, b); !errors.Is(err, ErrSegBadChecksum) {
+		t.Errorf("wrong src accepted: err = %v", err)
+	}
+}
+
+func TestSegmentTruncated(t *testing.T) {
+	if _, err := UnmarshalSegment(1, 2, make([]byte, 10)); !errors.Is(err, ErrSegTruncated) {
+		t.Errorf("err = %v, want ErrSegTruncated", err)
+	}
+}
+
+func TestSegmentLen(t *testing.T) {
+	tests := []struct {
+		seg  Segment
+		want int
+	}{
+		{Segment{Payload: []byte("abc")}, 3},
+		{Segment{Flags: FlagSYN}, 1},
+		{Segment{Flags: FlagFIN, Payload: []byte("ab")}, 3},
+		{Segment{Flags: FlagSYN | FlagFIN}, 2},
+		{Segment{Flags: FlagACK}, 0},
+	}
+	for _, tt := range tests {
+		if got := tt.seg.Len(); got != tt.want {
+			t.Errorf("Len(%s) = %d, want %d", tt.seg.Flags, got, tt.want)
+		}
+	}
+}
+
+func TestFlagsString(t *testing.T) {
+	if s := (FlagSYN | FlagACK).String(); s != "SYN|ACK" {
+		t.Errorf("String = %q", s)
+	}
+	if s := Flags(0).String(); s != "none" {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestUnknownOptionSkipped(t *testing.T) {
+	// Hand-craft a header with a NOP, an unknown option, then MSS.
+	in := &Segment{Flags: FlagSYN, Seq: 7, MSS: 536}
+	b := in.Marshal(1, 2)
+	// Rewrite options area: data offset says 24 bytes (one 4-byte slot).
+	// Replace [MSS,4,hi,lo] with [NOP, MSS... ] won't fit; instead assert
+	// the normal path tolerates NOP padding by constructing 28-byte header.
+	raw := make([]byte, 28)
+	copy(raw, b[:20])
+	raw[12] = byte(28/4) << 4
+	raw[20] = 1 // NOP
+	raw[21] = 1 // NOP
+	raw[22] = 8 // unknown option kind...
+	raw[23] = 2 // ...of length 2
+	raw[24] = 2 // MSS
+	raw[25] = 4
+	raw[26] = 0x02
+	raw[27] = 0x0c // 524
+	// Fix checksum.
+	raw[16], raw[17] = 0, 0
+	sum := ipv4.PseudoChecksum(1, 2, ipv4.ProtoTCP, raw)
+	raw[16], raw[17] = byte(sum>>8), byte(sum)
+	out, err := UnmarshalSegment(1, 2, raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.MSS != 524 {
+		t.Errorf("MSS after odd options = %d, want 524", out.MSS)
+	}
+}

@@ -1,0 +1,41 @@
+package tcp
+
+// Seq is a TCP sequence number. All comparisons are modulo 2^32 (RFC 793
+// "serial number arithmetic"): a is "less than" b when the signed distance
+// from a to b is positive.
+type Seq uint32
+
+// Add advances the sequence number by n, wrapping modulo 2^32.
+func (s Seq) Add(n int) Seq { return s + Seq(uint32(int32(n))) }
+
+// Diff returns the signed distance from other to s (s - other), correct
+// across wraparound for distances within ±2^31.
+func (s Seq) Diff(other Seq) int { return int(int32(s - other)) }
+
+// LT reports s < other in sequence space.
+func (s Seq) LT(other Seq) bool { return int32(s-other) < 0 }
+
+// LEQ reports s <= other in sequence space.
+func (s Seq) LEQ(other Seq) bool { return int32(s-other) <= 0 }
+
+// GT reports s > other in sequence space.
+func (s Seq) GT(other Seq) bool { return int32(s-other) > 0 }
+
+// GEQ reports s >= other in sequence space.
+func (s Seq) GEQ(other Seq) bool { return int32(s-other) >= 0 }
+
+// MaxSeq returns the later of a and b in sequence space.
+func MaxSeq(a, b Seq) Seq {
+	if a.GEQ(b) {
+		return a
+	}
+	return b
+}
+
+// MinSeq returns the earlier of a and b in sequence space.
+func MinSeq(a, b Seq) Seq {
+	if a.LEQ(b) {
+		return a
+	}
+	return b
+}

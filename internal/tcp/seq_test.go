@@ -1,0 +1,76 @@
+package tcp
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSeqComparisons(t *testing.T) {
+	tests := []struct {
+		a, b             Seq
+		lt, leq, gt, geq bool
+	}{
+		{0, 1, true, true, false, false},
+		{1, 0, false, false, true, true},
+		{5, 5, false, true, false, true},
+		// Wraparound: 0xffffffff is "before" 0.
+		{0xffffffff, 0, true, true, false, false},
+		{0, 0xffffffff, false, false, true, true},
+		{0xfffffff0, 0x10, true, true, false, false},
+	}
+	for _, tt := range tests {
+		if tt.a.LT(tt.b) != tt.lt || tt.a.LEQ(tt.b) != tt.leq ||
+			tt.a.GT(tt.b) != tt.gt || tt.a.GEQ(tt.b) != tt.geq {
+			t.Errorf("comparisons for (%d,%d) wrong", tt.a, tt.b)
+		}
+	}
+}
+
+func TestSeqAddDiffInverse(t *testing.T) {
+	f := func(base uint32, delta int32) bool {
+		s := Seq(base)
+		n := int(delta)
+		return s.Add(n).Diff(s) == n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSeqAddWraps(t *testing.T) {
+	s := Seq(0xfffffffe)
+	if s.Add(4) != 2 {
+		t.Errorf("Add wrap = %d, want 2", s.Add(4))
+	}
+	if s.Add(4).Diff(s) != 4 {
+		t.Errorf("Diff across wrap = %d, want 4", s.Add(4).Diff(s))
+	}
+}
+
+func TestSeqOrderingTransitiveNearWindow(t *testing.T) {
+	// For any base and small positive offsets a < b, base+a < base+b.
+	f := func(base uint32, a16, b16 uint16) bool {
+		a, b := int(a16), int(b16)
+		if a == b {
+			return true
+		}
+		if a > b {
+			a, b = b, a
+		}
+		s := Seq(base)
+		return s.Add(a).LT(s.Add(b))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMinMaxSeq(t *testing.T) {
+	a, b := Seq(0xfffffff0), Seq(0x10) // b is after a across the wrap
+	if MaxSeq(a, b) != b || MinSeq(a, b) != a {
+		t.Error("Min/MaxSeq wrong across wraparound")
+	}
+	if MaxSeq(b, b) != b || MinSeq(a, a) != a {
+		t.Error("Min/MaxSeq wrong for equal values")
+	}
+}

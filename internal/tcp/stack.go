@@ -1,0 +1,325 @@
+package tcp
+
+import (
+	"fmt"
+	"hash/fnv"
+	"time"
+
+	"hydranet/internal/ipv4"
+	"hydranet/internal/sim"
+)
+
+// Config tunes a TCP stack. The zero value is completed by DefaultConfig.
+type Config struct {
+	// MSS is the maximum segment size advertised and used. Default 1460
+	// (Ethernet MTU minus IP and TCP headers).
+	MSS int
+	// SendBufSize and RecvBufSize are the socket buffer capacities.
+	// Defaults 32768.
+	SendBufSize int
+	RecvBufSize int
+	// InitialRTO, MinRTO and MaxRTO bound the retransmission timeout.
+	// Defaults 1s / 500ms / 60s — BSD-era conservative values; the paper
+	// attributes most FT-mode overhead to client timeout waits.
+	InitialRTO time.Duration
+	MinRTO     time.Duration
+	MaxRTO     time.Duration
+	// DelayedAckTimeout is the delayed-ACK timer; zero or negative
+	// acknowledges every data segment immediately.
+	DelayedAckTimeout time.Duration
+	// TimeWaitDuration is the 2MSL TIME-WAIT hold. Default 30s.
+	TimeWaitDuration time.Duration
+	// InitialCwnd is the initial congestion window in segments. Default 2.
+	InitialCwnd int
+	// MaxRetries is how many consecutive timeouts abort a connection.
+	// Default 12.
+	MaxRetries int
+	// ISS generates initial send sequence numbers. The default derives the
+	// ISS from the connection 4-tuple, which makes all replicas of a
+	// HydraNet-FT service agree on sequence numbers for a given client —
+	// the property transparent failover relies on (see DESIGN.md).
+	ISS func(local, remote Endpoint) Seq
+}
+
+// DefaultConfig fills unset fields with defaults.
+func DefaultConfig(cfg Config) Config {
+	if cfg.MSS == 0 {
+		cfg.MSS = 1460
+	}
+	if cfg.SendBufSize == 0 {
+		cfg.SendBufSize = 32768
+	}
+	if cfg.RecvBufSize == 0 {
+		cfg.RecvBufSize = 32768
+	}
+	if cfg.InitialRTO == 0 {
+		cfg.InitialRTO = time.Second
+	}
+	if cfg.MinRTO == 0 {
+		cfg.MinRTO = 500 * time.Millisecond
+	}
+	if cfg.MaxRTO == 0 {
+		cfg.MaxRTO = 60 * time.Second
+	}
+	if cfg.TimeWaitDuration == 0 {
+		cfg.TimeWaitDuration = 30 * time.Second
+	}
+	if cfg.InitialCwnd == 0 {
+		cfg.InitialCwnd = 2
+	}
+	if cfg.MaxRetries == 0 {
+		cfg.MaxRetries = 12
+	}
+	if cfg.ISS == nil {
+		cfg.ISS = TupleISS
+	}
+	return cfg
+}
+
+// TupleISS derives a deterministic initial sequence number from the
+// connection 4-tuple.
+func TupleISS(local, remote Endpoint) Seq {
+	h := fnv.New32a()
+	var b [12]byte
+	b[0] = byte(local.Addr >> 24)
+	b[1] = byte(local.Addr >> 16)
+	b[2] = byte(local.Addr >> 8)
+	b[3] = byte(local.Addr)
+	b[4] = byte(local.Port >> 8)
+	b[5] = byte(local.Port)
+	b[6] = byte(remote.Addr >> 24)
+	b[7] = byte(remote.Addr >> 16)
+	b[8] = byte(remote.Addr >> 8)
+	b[9] = byte(remote.Addr)
+	b[10] = byte(remote.Port >> 8)
+	b[11] = byte(remote.Port)
+	h.Write(b[:])
+	return Seq(h.Sum32())
+}
+
+// StackStats counts stack-level events.
+type StackStats struct {
+	SegsIn      uint64
+	SegsOut     uint64
+	BadSegments uint64
+	RSTsSent    uint64
+	NoSocket    uint64
+}
+
+type connKey struct {
+	local, remote Endpoint
+}
+
+// TraceFunc observes segments at the stack boundary: dir is "in" or "out".
+type TraceFunc func(dir string, local, remote Endpoint, seg *Segment)
+
+// Stack is the per-node TCP layer.
+type Stack struct {
+	ip    *ipv4.Stack
+	sched *sim.Scheduler
+	cfg   Config
+
+	conns     map[connKey]*Conn
+	listeners map[Endpoint]*Listener
+	ephemeral uint16
+	stats     StackStats
+	trace     TraceFunc
+}
+
+var _ ipv4.ProtocolHandler = (*Stack)(nil)
+
+// NewStack creates the TCP layer and registers it with the IP stack.
+func NewStack(ip *ipv4.Stack, cfg Config) *Stack {
+	s := &Stack{
+		ip:        ip,
+		sched:     ip.Scheduler(),
+		cfg:       DefaultConfig(cfg),
+		conns:     make(map[connKey]*Conn),
+		listeners: make(map[Endpoint]*Listener),
+		ephemeral: 49152,
+	}
+	ip.RegisterProto(ipv4.ProtoTCP, s)
+	return s
+}
+
+// Config returns the stack's effective configuration.
+func (s *Stack) Config() Config { return s.cfg }
+
+// Scheduler returns the scheduler driving the stack.
+func (s *Stack) Scheduler() *sim.Scheduler { return s.sched }
+
+// IP returns the underlying IPv4 stack.
+func (s *Stack) IP() *ipv4.Stack { return s.ip }
+
+// Stats returns a snapshot of the stack counters.
+func (s *Stack) Stats() StackStats { return s.stats }
+
+// SetTrace installs a segment observer (tests, debugging).
+func (s *Stack) SetTrace(fn TraceFunc) { s.trace = fn }
+
+// NumConns returns the number of live connections.
+func (s *Stack) NumConns() int { return len(s.conns) }
+
+// Listener accepts inbound connections for one (addr, port); addr 0 is the
+// wildcard.
+type Listener struct {
+	stack  *Stack
+	local  Endpoint
+	setup  func(*Conn) // ft-TCP hook installation, runs at SYN time
+	accept func(*Conn) // application accept, runs when established
+}
+
+// Addr returns the endpoint the listener is bound to.
+func (l *Listener) Addr() Endpoint { return l.local }
+
+// SetSetupFunc installs a callback invoked for each new connection at SYN
+// time, before the SYN-ACK is generated. The HydraNet-FT core uses it to
+// install ConnHooks so even the handshake obeys chain gating.
+func (l *Listener) SetSetupFunc(fn func(*Conn)) { l.setup = fn }
+
+// SetAcceptFunc installs the application's accept callback, invoked when
+// the handshake completes.
+func (l *Listener) SetAcceptFunc(fn func(*Conn)) { l.accept = fn }
+
+// Close stops accepting new connections (existing ones are unaffected).
+func (l *Listener) Close() {
+	delete(l.stack.listeners, l.local)
+}
+
+// Listen binds a listener to (addr, port). A zero addr accepts connections
+// to any local address, which is how replica server programs bind the same
+// well-known port on every virtual host.
+func (s *Stack) Listen(addr ipv4.Addr, port uint16) (*Listener, error) {
+	key := Endpoint{Addr: addr, Port: port}
+	if _, busy := s.listeners[key]; busy {
+		return nil, fmt.Errorf("%w: %s", ErrListenBusy, key)
+	}
+	l := &Listener{stack: s, local: key}
+	s.listeners[key] = l
+	return l, nil
+}
+
+// Connect starts an active open to remote. A zero localAddr selects the
+// outgoing interface address. The returned Conn reports progress through
+// its callbacks.
+func (s *Stack) Connect(localAddr ipv4.Addr, remote Endpoint) (*Conn, error) {
+	if localAddr == 0 {
+		ifindex := s.ip.Routes().Lookup(remote.Addr)
+		if ifindex < 0 {
+			return nil, fmt.Errorf("tcp: no route to %s", remote.Addr)
+		}
+		localAddr = s.ip.Addr(ifindex)
+	}
+	local := Endpoint{Addr: localAddr, Port: s.allocEphemeral()}
+	key := connKey{local: local, remote: remote}
+	if _, exists := s.conns[key]; exists {
+		return nil, fmt.Errorf("tcp: connection %v-%v exists", local, remote)
+	}
+	c := newConn(s, local, remote)
+	s.conns[key] = c
+	c.open()
+	return c, nil
+}
+
+func (s *Stack) allocEphemeral() uint16 {
+	for {
+		s.ephemeral++
+		if s.ephemeral < 49152 {
+			s.ephemeral = 49152
+		}
+		// Skip ports with active listeners or connections.
+		if _, busy := s.listeners[Endpoint{Port: s.ephemeral}]; !busy {
+			return s.ephemeral
+		}
+	}
+}
+
+// DeliverIP implements ipv4.ProtocolHandler.
+func (s *Stack) DeliverIP(p *ipv4.Packet) {
+	seg, err := UnmarshalSegment(p.Src, p.Dst, p.Payload)
+	if err != nil {
+		s.stats.BadSegments++
+		return
+	}
+	s.stats.SegsIn++
+	local := Endpoint{Addr: p.Dst, Port: seg.DstPort}
+	remote := Endpoint{Addr: p.Src, Port: seg.SrcPort}
+	if s.trace != nil {
+		s.trace("in", local, remote, seg)
+	}
+	if c, ok := s.conns[connKey{local: local, remote: remote}]; ok {
+		c.input(seg)
+		return
+	}
+	// New connection: a SYN for a listener.
+	l := s.listeners[local]
+	if l == nil {
+		l = s.listeners[Endpoint{Port: seg.DstPort}] // wildcard
+	}
+	if l != nil && seg.Flags.Has(FlagSYN) && !seg.Flags.Has(FlagACK) {
+		c := newConn(s, local, remote)
+		c.acceptFn = l.accept
+		if l.setup != nil {
+			l.setup(c)
+		}
+		s.conns[connKey{local: local, remote: remote}] = c
+		c.openPassive(seg)
+		return
+	}
+	s.stats.NoSocket++
+	if !seg.Flags.Has(FlagRST) {
+		s.sendRSTFor(local, remote, seg)
+	}
+}
+
+// sendRSTFor answers a segment that matches no socket (RFC 793 reset
+// generation).
+func (s *Stack) sendRSTFor(local, remote Endpoint, seg *Segment) {
+	s.stats.RSTsSent++
+	rst := &Segment{SrcPort: local.Port, DstPort: remote.Port, Flags: FlagRST}
+	if seg.Flags.Has(FlagACK) {
+		rst.Seq = seg.Ack
+	} else {
+		rst.Flags |= FlagACK
+		rst.Ack = seg.Seq.Add(seg.Len())
+	}
+	s.transmit(local, remote, rst)
+}
+
+// transmit marshals and sends a segment from local to remote.
+func (s *Stack) transmit(local, remote Endpoint, seg *Segment) {
+	if s.trace != nil {
+		s.trace("out", local, remote, seg)
+	}
+	s.stats.SegsOut++
+	b := seg.Marshal(local.Addr, remote.Addr)
+	// Errors (no route) surface as drops; TCP recovers by retransmission.
+	_ = s.ip.Send(ipv4.ProtoTCP, local.Addr, remote.Addr, b) //nolint:errcheck
+}
+
+func (s *Stack) removeConn(c *Conn) {
+	delete(s.conns, connKey{local: c.local, remote: c.remote})
+}
+
+// Conn lookup for diagnostics and the ft-TCP core.
+func (s *Stack) FindConn(local, remote Endpoint) *Conn {
+	return s.conns[connKey{local: local, remote: remote}]
+}
+
+// Conns returns all live connections (copy).
+func (s *Stack) Conns() []*Conn {
+	out := make([]*Conn, 0, len(s.conns))
+	for _, c := range s.conns {
+		out = append(out, c)
+	}
+	return out
+}
+
+// Reset drops every connection without emitting segments — the protocol
+// state a machine loses when it crashes. Listeners survive: a rebooting
+// machine's services come back and re-listen.
+func (s *Stack) Reset() {
+	for _, c := range s.Conns() {
+		c.terminate(ErrReset)
+	}
+}

@@ -1,0 +1,268 @@
+package tcp
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"hydranet/internal/ipv4"
+	"hydranet/internal/netsim"
+	"hydranet/internal/sim"
+)
+
+func establishedPair(t *testing.T, cfg Config) (*env, *Conn, *Conn) {
+	t.Helper()
+	e := newEnv(t, netsim.LinkConfig{Rate: 10_000_000, Delay: time.Millisecond}, cfg)
+	l, err := e.server.Listen(0, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var srv *Conn
+	l.SetAcceptFunc(func(c *Conn) { srv = c })
+	cli, err := e.client.Connect(0, Endpoint{Addr: e.serverAddr, Port: 80})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.sched.RunUntil(time.Second)
+	if srv == nil || cli.State() != StateEstablished {
+		t.Fatal("setup: connection not established")
+	}
+	return e, cli, srv
+}
+
+func TestHalfCloseServerKeepsSending(t *testing.T) {
+	e, cli, srv := establishedPair(t, Config{TimeWaitDuration: time.Second})
+	got := attachSink(cli)
+	// Client half-closes; the server may keep sending.
+	cli.Close()
+	e.sched.RunUntil(2 * time.Second)
+	if cli.State() != StateFinWait2 {
+		t.Fatalf("client state = %v, want FIN-WAIT-2", cli.State())
+	}
+	if !srv.PeerClosed() {
+		t.Fatal("server did not see client FIN")
+	}
+	srv.Write([]byte("parting data"))
+	e.sched.RunUntil(4 * time.Second)
+	if string(got.data) != "parting data" {
+		t.Fatalf("data after half-close = %q", got.data)
+	}
+	srv.Close()
+	e.sched.RunUntil(10 * time.Second)
+	if e.client.NumConns()+e.server.NumConns() != 0 {
+		t.Fatal("connections not reaped after full close")
+	}
+}
+
+func TestSimultaneousClose(t *testing.T) {
+	e, cli, srv := establishedPair(t, Config{TimeWaitDuration: time.Second})
+	var cliErr, srvErr error
+	cliDone, srvDone := false, false
+	cli.OnClosed(func(err error) { cliDone, cliErr = true, err })
+	srv.OnClosed(func(err error) { srvDone, srvErr = true, err })
+	// Close both ends in the same instant: FINs cross in flight.
+	cli.Close()
+	srv.Close()
+	e.sched.RunUntil(30 * time.Second)
+	if !cliDone || !srvDone {
+		t.Fatalf("closed: client=%v server=%v", cliDone, srvDone)
+	}
+	if cliErr != nil || srvErr != nil {
+		t.Fatalf("simultaneous close errors: %v / %v", cliErr, srvErr)
+	}
+}
+
+func TestAbortSendsRST(t *testing.T) {
+	e, cli, srv := establishedPair(t, Config{})
+	var srvErr error
+	srv.OnClosed(func(err error) { srvErr = err })
+	cli.Abort()
+	e.sched.RunUntil(e.sched.Now() + time.Second)
+	if !errors.Is(srvErr, ErrReset) {
+		t.Fatalf("server err = %v, want ErrReset", srvErr)
+	}
+	if e.client.NumConns()+e.server.NumConns() != 0 {
+		t.Fatal("aborted connections not reaped")
+	}
+}
+
+func TestListenerCloseRefusesNewConns(t *testing.T) {
+	e := newEnv(t, netsim.LinkConfig{Delay: time.Millisecond}, Config{})
+	l, _ := e.server.Listen(0, 80)
+	l.SetAcceptFunc(func(c *Conn) {})
+	l.Close()
+	c, _ := e.client.Connect(0, Endpoint{Addr: e.serverAddr, Port: 80})
+	var err error
+	c.OnClosed(func(e error) { err = e })
+	e.sched.RunUntil(5 * time.Second)
+	if !errors.Is(err, ErrRefused) {
+		t.Fatalf("err = %v, want ErrRefused after listener close", err)
+	}
+}
+
+func TestListenBusy(t *testing.T) {
+	e := newEnv(t, netsim.LinkConfig{}, Config{})
+	if _, err := e.server.Listen(0, 80); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.server.Listen(0, 80); !errors.Is(err, ErrListenBusy) {
+		t.Fatalf("err = %v, want ErrListenBusy", err)
+	}
+	// A specific-address listener on the same port coexists.
+	if _, err := e.server.Listen(e.serverAddr, 80); err != nil {
+		t.Fatalf("specific-address listen failed: %v", err)
+	}
+}
+
+func TestConnectNoRoute(t *testing.T) {
+	sched := sim.NewScheduler(1)
+	nw := netsim.New(sched)
+	n := nw.AddNode(netsim.NodeConfig{})
+	st := NewStack(ipv4.NewStack(n, sched), Config{})
+	if _, err := st.Connect(0, Endpoint{Addr: ipv4.MustParseAddr("1.2.3.4"), Port: 80}); err == nil {
+		t.Fatal("Connect without a route succeeded")
+	}
+}
+
+func TestDelayedAckTimer(t *testing.T) {
+	// With delayed ACKs, a single small segment is acknowledged by the
+	// timer, not immediately.
+	cfg := Config{DelayedAckTimeout: 200 * time.Millisecond}
+	e, cli, _ := establishedPair(t, cfg)
+	var ackTimes []time.Duration
+	e.client.SetTrace(func(dir string, _, _ Endpoint, seg *Segment) {
+		if dir == "in" && seg.Flags.Has(FlagACK) && len(seg.Payload) == 0 {
+			ackTimes = append(ackTimes, e.sched.Now())
+		}
+	})
+	start := e.sched.Now()
+	cli.Write([]byte("one small segment"))
+	e.sched.RunUntil(start + 2*time.Second)
+	if len(ackTimes) == 0 {
+		t.Fatal("no ACK arrived")
+	}
+	delay := ackTimes[0] - start
+	if delay < 150*time.Millisecond {
+		t.Fatalf("ACK after %v, expected the ~200ms delayed-ACK timer", delay)
+	}
+}
+
+func TestSecondSegmentAcksImmediately(t *testing.T) {
+	cfg := Config{DelayedAckTimeout: 200 * time.Millisecond}
+	e, cli, _ := establishedPair(t, cfg)
+	var ackTimes []time.Duration
+	e.client.SetTrace(func(dir string, _, _ Endpoint, seg *Segment) {
+		if dir == "in" && seg.Flags.Has(FlagACK) && len(seg.Payload) == 0 {
+			ackTimes = append(ackTimes, e.sched.Now())
+		}
+	})
+	cli.SetNoDelay(true)
+	start := e.sched.Now()
+	cli.Write([]byte("first"))
+	cli.Write([]byte("second"))
+	e.sched.RunUntil(start + 2*time.Second)
+	if len(ackTimes) == 0 {
+		t.Fatal("no ACK arrived")
+	}
+	if delay := ackTimes[0] - start; delay > 100*time.Millisecond {
+		t.Fatalf("ACK after %v; the second segment should force an immediate ACK", delay)
+	}
+}
+
+func TestGarbageFramesDoNotPanic(t *testing.T) {
+	e, cli, _ := establishedPair(t, Config{})
+	rng := rand.New(rand.NewSource(99))
+	node := e.server.IP()
+	for i := 0; i < 2000; i++ {
+		n := rng.Intn(100)
+		frame := make([]byte, n)
+		rng.Read(frame)
+		node.Node() // keep the stack reachable
+		e.server.IP().HandleFrame(0, frame)
+	}
+	e.sched.RunUntil(10 * time.Second)
+	if e.server.Stats().BadSegments == 0 && e.server.IP().Stats().BadHeader == 0 {
+		t.Error("garbage produced no error counts")
+	}
+	_ = cli
+}
+
+func TestRandomSegmentsDoNotPanic(t *testing.T) {
+	// Checksummed but otherwise random segments fired at an established
+	// connection: the state machine must never panic; the connection may
+	// legitimately die (RST flag), but only cleanly.
+	e, cli, srv := establishedPair(t, Config{})
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 2000; i++ {
+		seg := &Segment{
+			SrcPort: cli.Local().Port,
+			DstPort: 80,
+			Seq:     Seq(rng.Uint32()),
+			Ack:     Seq(rng.Uint32()),
+			Flags:   Flags(rng.Intn(64)) &^ FlagRST, // RST would end the test trivially
+			Window:  uint16(rng.Intn(65536)),
+		}
+		if rng.Intn(2) == 0 {
+			seg.Payload = make([]byte, rng.Intn(1000))
+			rng.Read(seg.Payload)
+		}
+		b := seg.Marshal(cli.Local().Addr, e.serverAddr)
+		pkt := &ipv4.Packet{
+			Header: ipv4.Header{
+				TTL: 4, Proto: ipv4.ProtoTCP,
+				Src: cli.Local().Addr, Dst: e.serverAddr,
+				ID: uint16(i), TotalLen: ipv4.HeaderLen + len(b),
+			},
+			Payload: b,
+		}
+		e.server.DeliverIP(pkt)
+		if i%100 == 0 {
+			e.sched.RunUntil(e.sched.Now() + time.Millisecond)
+		}
+	}
+	e.sched.RunUntil(e.sched.Now() + 10*time.Second)
+	// The server connection object must be in a coherent state.
+	switch srv.State() {
+	case StateEstablished, StateClosed, StateCloseWait, StateFinWait1,
+		StateFinWait2, StateClosing, StateLastAck, StateTimeWait:
+	default:
+		t.Fatalf("server in impossible state %v", srv.State())
+	}
+}
+
+func TestEphemeralPortsDistinct(t *testing.T) {
+	e := newEnv(t, netsim.LinkConfig{}, Config{})
+	l, _ := e.server.Listen(0, 80)
+	l.SetAcceptFunc(func(c *Conn) {})
+	seen := map[uint16]bool{}
+	for i := 0; i < 50; i++ {
+		c, err := e.client.Connect(0, Endpoint{Addr: e.serverAddr, Port: 80})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen[c.Local().Port] {
+			t.Fatalf("ephemeral port %d reused while active", c.Local().Port)
+		}
+		seen[c.Local().Port] = true
+	}
+}
+
+func TestWriteAfterCloseRejected(t *testing.T) {
+	e, cli, _ := establishedPair(t, Config{})
+	cli.Close()
+	if n := cli.Write([]byte("too late")); n != 0 {
+		t.Fatalf("Write after Close accepted %d bytes", n)
+	}
+	e.sched.RunUntil(time.Minute)
+}
+
+func TestStackStatsProgress(t *testing.T) {
+	e, cli, _ := establishedPair(t, Config{})
+	cli.Write([]byte("count me"))
+	e.sched.RunUntil(5 * time.Second)
+	cs, ss := e.client.Stats(), e.server.Stats()
+	if cs.SegsOut == 0 || cs.SegsIn == 0 || ss.SegsOut == 0 || ss.SegsIn == 0 {
+		t.Fatalf("stats not counting: client=%+v server=%+v", cs, ss)
+	}
+}

@@ -1,0 +1,66 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"hydranet/internal/ipv4"
+	"hydranet/internal/netsim"
+	"hydranet/internal/sim"
+	"hydranet/internal/tcp"
+)
+
+func TestTracerFormatsSegments(t *testing.T) {
+	sched := sim.NewScheduler(1)
+	nw := netsim.New(sched)
+	a := nw.AddNode(netsim.NodeConfig{Name: "a"})
+	b := nw.AddNode(netsim.NodeConfig{Name: "b"})
+	nw.Connect(a, b, netsim.LinkConfig{Delay: time.Millisecond})
+	sa, sb := ipv4.NewStack(a, sched), ipv4.NewStack(b, sched)
+	sa.SetAddr(0, ipv4.MustParseAddr("10.0.0.1"))
+	sb.SetAddr(0, ipv4.MustParseAddr("10.0.0.2"))
+	sa.Routes().AddDefault(0)
+	sb.Routes().AddDefault(0)
+	ca := tcp.NewStack(sa, tcp.Config{})
+	cb := tcp.NewStack(sb, tcp.Config{})
+
+	var out strings.Builder
+	tr := New(&out, sched)
+	tr.AttachTCP("client", ca)
+	tr.AttachTCP("server", cb)
+
+	l, _ := cb.Listen(0, 80)
+	l.SetAcceptFunc(func(c *tcp.Conn) {})
+	if _, err := ca.Connect(0, tcp.Endpoint{Addr: ipv4.MustParseAddr("10.0.0.2"), Port: 80}); err != nil {
+		t.Fatal(err)
+	}
+	sched.RunUntil(time.Second)
+
+	text := out.String()
+	if !strings.Contains(text, "SYN") || !strings.Contains(text, "SYN|ACK") {
+		t.Fatalf("handshake not visible in trace:\n%s", text)
+	}
+	if !strings.Contains(text, "client") || !strings.Contains(text, "server") {
+		t.Fatal("host labels missing")
+	}
+	if tr.Count() < 6 { // 3 segments, each seen at both ends
+		t.Fatalf("only %d lines for a full handshake", tr.Count())
+	}
+}
+
+func TestTracerLimit(t *testing.T) {
+	sched := sim.NewScheduler(1)
+	var out strings.Builder
+	tr := New(&out, sched)
+	tr.SetLimit(3)
+	for i := 0; i < 10; i++ {
+		tr.Emit("x", "line %d", i)
+	}
+	if tr.Count() != 3 {
+		t.Fatalf("Count = %d, want 3", tr.Count())
+	}
+	if got := strings.Count(out.String(), "\n"); got != 3 {
+		t.Fatalf("emitted %d lines, want 3", got)
+	}
+}

@@ -1,0 +1,121 @@
+// Package ttcp reimplements the ttcp throughput benchmark the paper uses
+// for its measurements (Section 5): a transmitter writes a fixed number of
+// fixed-size buffers over one TCP connection and the sustained throughput
+// is reported. As in the paper, sender-side batching of small segments is
+// turned off, so every buffer travels as its own segment.
+package ttcp
+
+import (
+	"time"
+
+	"hydranet/internal/sim"
+	"hydranet/internal/tcp"
+)
+
+// Params configure one transfer.
+type Params struct {
+	// BufLen is the write size — the "packet size" on the paper's x-axis.
+	BufLen int
+	// Count is the number of writes; total bytes = BufLen * Count.
+	Count int
+	// TotalBytes, if nonzero, overrides Count as ceil(TotalBytes/BufLen)
+	// so sweeps move the same volume at every size.
+	TotalBytes int
+}
+
+func (p Params) count() int {
+	if p.TotalBytes > 0 {
+		c := p.TotalBytes / p.BufLen
+		if p.TotalBytes%p.BufLen != 0 {
+			c++
+		}
+		return c
+	}
+	return p.Count
+}
+
+// Result is the outcome of a transfer.
+type Result struct {
+	Bytes    int
+	Started  time.Duration // virtual time of the first write
+	Finished time.Duration // virtual time the connection closed
+	Err      error         // non-nil if the connection failed
+	Stats    tcp.ConnStats // client-side connection counters
+}
+
+// Elapsed returns the transfer duration.
+func (r Result) Elapsed() time.Duration { return r.Finished - r.Started }
+
+// ThroughputKBps returns sustained throughput in kilobytes (1000 bytes) per
+// second, the unit of the paper's Figure 4.
+func (r Result) ThroughputKBps() float64 {
+	e := r.Elapsed()
+	if e <= 0 {
+		return 0
+	}
+	return float64(r.Bytes) / e.Seconds() / 1000
+}
+
+// Transmit drives a ttcp transfer over conn. onDone fires once, when the
+// connection has fully closed (all data delivered and acknowledged) or
+// failed.
+func Transmit(sched *sim.Scheduler, conn *tcp.Conn, p Params, onDone func(Result)) {
+	conn.SetNoDelay(true)
+	conn.SetSegmentPerWrite(true)
+	buf := make([]byte, p.BufLen)
+	for i := range buf {
+		buf[i] = byte(i)
+	}
+	res := Result{}
+	remaining := p.count()
+	started := false
+	feed := func() {
+		if !started {
+			started = true
+			res.Started = sched.Now()
+		}
+		for remaining > 0 {
+			// Whole writes only, so each write is one segment boundary.
+			if conn.WriteFree() < p.BufLen {
+				return
+			}
+			if n := conn.Write(buf); n == 0 {
+				return
+			}
+			res.Bytes += p.BufLen
+			remaining--
+		}
+		conn.Close()
+	}
+	conn.OnWritable(feed)
+	conn.OnConnected(feed)
+	conn.OnClosed(func(err error) {
+		res.Err = err
+		res.Finished = sched.Now()
+		res.Stats = conn.Stats()
+		onDone(res)
+	})
+	if conn.State() == tcp.StateEstablished {
+		feed()
+	}
+}
+
+// Sink is the receive side: it consumes and discards everything and closes
+// after EOF. It returns a counter of bytes received, updated live.
+func Sink(c *tcp.Conn) *int {
+	total := new(int)
+	buf := make([]byte, 16384)
+	c.OnReadable(func() {
+		for {
+			n := c.Read(buf)
+			if n == 0 {
+				break
+			}
+			*total += n
+		}
+		if c.PeerClosed() {
+			c.Close()
+		}
+	})
+	return total
+}

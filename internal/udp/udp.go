@@ -1,0 +1,181 @@
+// Package udp implements the UDP transport over the simulated IPv4 stack.
+//
+// HydraNet-FT uses UDP for two things: the kernel-to-kernel acknowledgment
+// channel between server replicas, and the replica management protocol
+// between daemons and redirectors (paper Sections 4.3–4.4).
+package udp
+
+import (
+	"errors"
+	"fmt"
+
+	"hydranet/internal/ipv4"
+)
+
+// HeaderLen is the UDP header size in bytes.
+const HeaderLen = 8
+
+// Endpoint identifies one side of a UDP exchange.
+type Endpoint struct {
+	Addr ipv4.Addr
+	Port uint16
+}
+
+// String renders addr:port.
+func (e Endpoint) String() string { return fmt.Sprintf("%s:%d", e.Addr, e.Port) }
+
+// Errors returned by the package.
+var (
+	ErrTruncated   = errors.New("udp: truncated datagram")
+	ErrBadChecksum = errors.New("udp: checksum mismatch")
+	ErrPortInUse   = errors.New("udp: port already bound")
+)
+
+// Marshal builds a wire-format UDP datagram with checksum, given the IP
+// addresses for the pseudo-header.
+func Marshal(src, dst ipv4.Addr, srcPort, dstPort uint16, payload []byte) []byte {
+	b := make([]byte, HeaderLen+len(payload))
+	b[0] = byte(srcPort >> 8)
+	b[1] = byte(srcPort)
+	b[2] = byte(dstPort >> 8)
+	b[3] = byte(dstPort)
+	total := len(b)
+	b[4] = byte(total >> 8)
+	b[5] = byte(total)
+	copy(b[HeaderLen:], payload)
+	sum := ipv4.PseudoChecksum(src, dst, ipv4.ProtoUDP, b)
+	if sum == 0 {
+		sum = 0xffff // RFC 768: transmitted zero means "no checksum"
+	}
+	b[6] = byte(sum >> 8)
+	b[7] = byte(sum)
+	return b
+}
+
+// Unmarshal parses and validates a UDP datagram.
+func Unmarshal(src, dst ipv4.Addr, b []byte) (srcPort, dstPort uint16, payload []byte, err error) {
+	if len(b) < HeaderLen {
+		return 0, 0, nil, ErrTruncated
+	}
+	length := int(b[4])<<8 | int(b[5])
+	if length < HeaderLen || length > len(b) {
+		return 0, 0, nil, ErrTruncated
+	}
+	if sum := uint16(b[6])<<8 | uint16(b[7]); sum != 0 {
+		if ipv4.PseudoChecksum(src, dst, ipv4.ProtoUDP, b[:length]) != 0 {
+			return 0, 0, nil, ErrBadChecksum
+		}
+	}
+	srcPort = uint16(b[0])<<8 | uint16(b[1])
+	dstPort = uint16(b[2])<<8 | uint16(b[3])
+	return srcPort, dstPort, b[HeaderLen:length], nil
+}
+
+// RecvFunc is invoked for each datagram delivered to a bound socket. local
+// is the destination address the datagram arrived for — sockets bound to
+// the wildcard address use it to tell virtual hosts apart.
+type RecvFunc func(from Endpoint, local ipv4.Addr, payload []byte)
+
+type binding struct {
+	addr ipv4.Addr // 0 = any local address
+	port uint16
+	recv RecvFunc
+}
+
+// Stack is the per-node UDP layer.
+type Stack struct {
+	ip       *ipv4.Stack
+	bindings map[uint16][]*binding
+
+	// Stats
+	delivered, noListener, badDatagram uint64
+}
+
+var _ ipv4.ProtocolHandler = (*Stack)(nil)
+
+// NewStack creates the UDP layer and registers it with the IP stack.
+func NewStack(ip *ipv4.Stack) *Stack {
+	s := &Stack{ip: ip, bindings: make(map[uint16][]*binding)}
+	ip.RegisterProto(ipv4.ProtoUDP, s)
+	return s
+}
+
+// Stats returns delivered, no-listener and malformed datagram counts.
+func (s *Stack) Stats() (delivered, noListener, bad uint64) {
+	return s.delivered, s.noListener, s.badDatagram
+}
+
+// Bind registers recv for datagrams to (addr, port). addr 0 binds all local
+// addresses. Binding the same (addr, port) twice fails.
+func (s *Stack) Bind(addr ipv4.Addr, port uint16, recv RecvFunc) error {
+	for _, b := range s.bindings[port] {
+		if b.addr == addr {
+			return fmt.Errorf("%w: %s:%d", ErrPortInUse, addr, port)
+		}
+	}
+	s.bindings[port] = append(s.bindings[port], &binding{addr: addr, port: port, recv: recv})
+	return nil
+}
+
+// Unbind removes the binding for (addr, port).
+func (s *Stack) Unbind(addr ipv4.Addr, port uint16) {
+	list := s.bindings[port]
+	for i, b := range list {
+		if b.addr == addr {
+			s.bindings[port] = append(list[:i], list[i+1:]...)
+			if len(s.bindings[port]) == 0 {
+				delete(s.bindings, port)
+			}
+			return
+		}
+	}
+}
+
+// SendTo transmits a datagram from (srcAddr, srcPort) to dst. A zero
+// srcAddr lets the IP layer pick the outgoing interface address.
+func (s *Stack) SendTo(srcAddr ipv4.Addr, srcPort uint16, dst Endpoint, payload []byte) error {
+	// The checksum covers the pseudo-header, so the source address must be
+	// resolved before marshaling when left unspecified.
+	if srcAddr == 0 {
+		srcAddr = s.localSourceFor(dst.Addr)
+	}
+	seg := Marshal(srcAddr, dst.Addr, srcPort, dst.Port, payload)
+	return s.ip.Send(ipv4.ProtoUDP, srcAddr, dst.Addr, seg)
+}
+
+func (s *Stack) localSourceFor(dst ipv4.Addr) ipv4.Addr {
+	if s.ip.IsLocal(dst) {
+		return dst
+	}
+	if ifindex := s.ip.Routes().Lookup(dst); ifindex >= 0 {
+		return s.ip.Addr(ifindex)
+	}
+	return 0
+}
+
+// DeliverIP implements ipv4.ProtocolHandler.
+func (s *Stack) DeliverIP(p *ipv4.Packet) {
+	srcPort, dstPort, payload, err := Unmarshal(p.Src, p.Dst, p.Payload)
+	if err != nil {
+		s.badDatagram++
+		return
+	}
+	var anyMatch *binding
+	for _, b := range s.bindings[dstPort] {
+		if b.addr == p.Dst {
+			s.delivered++
+			b.recv(Endpoint{Addr: p.Src, Port: srcPort}, p.Dst, payload)
+			return
+		}
+		if b.addr == 0 {
+			anyMatch = b
+		}
+	}
+	if anyMatch != nil {
+		s.delivered++
+		anyMatch.recv(Endpoint{Addr: p.Src, Port: srcPort}, p.Dst, payload)
+		return
+	}
+	s.noListener++
+	s.ip.ReportError(ipv4.ErrorNoListener, p)
+}

@@ -1,0 +1,213 @@
+package hydranet
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"hydranet/internal/app"
+)
+
+func TestCrashWipesProtocolState(t *testing.T) {
+	net, client, rd, replicas := ftTopology(t, 21, 2)
+	if _, err := net.DeployFT(testSvc, rd, replicas, FTOptions{}, echoAccept()); err != nil {
+		t.Fatal(err)
+	}
+	net.Settle()
+	conn, _ := client.Dial(testSvc)
+	app.Source(conn, []byte("state"), false)
+	net.RunFor(2 * time.Second)
+	if got := replicas[0].TCP().NumConns(); got != 1 {
+		t.Fatalf("primary tracks %d conns before crash", got)
+	}
+	replicas[0].Crash()
+	if got := replicas[0].TCP().NumConns(); got != 0 {
+		t.Fatalf("crash left %d TCP connections behind", got)
+	}
+	if replicas[0].FTManager().Port(testSvc) != nil {
+		t.Fatal("crash left replicated-port state behind")
+	}
+}
+
+func TestRecommissionAfterFailure(t *testing.T) {
+	net, client, rd, replicas := ftTopology(t, 22, 2)
+	svc, err := net.DeployFT(testSvc, rd, replicas, FTOptions{}, echoAccept())
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.Settle()
+
+	// Establish a connection, crash the primary mid-stream, fail over.
+	conn1, _ := client.Dial(testSvc)
+	echoed1 := collect(conn1)
+	conn1.OnConnected(func() { conn1.Write([]byte("first")) })
+	net.RunFor(2 * time.Second)
+	svc.CrashPrimary()
+	conn1.Write([]byte("|more"))
+	net.RunFor(60 * time.Second)
+	if string(*echoed1) != "first|more" {
+		t.Fatalf("failover echo = %q", *echoed1)
+	}
+	if got := svc.Chain(); len(got) != 1 || got[0] != replicas[1].Addr() {
+		t.Fatalf("chain after failover = %v", got)
+	}
+
+	// Recover s0 and bring it back as a backup.
+	replicas[0].Restart()
+	if err := svc.Recommission(replicas[0]); err != nil {
+		t.Fatal(err)
+	}
+	net.Settle()
+	chain := svc.Chain()
+	if len(chain) != 2 || chain[0] != replicas[1].Addr() || chain[1] != replicas[0].Addr() {
+		t.Fatalf("chain after recommission = %v, want [s1 s0]", chain)
+	}
+
+	// A NEW connection is replicated onto the recommissioned host...
+	conn2, _ := client.Dial(testSvc)
+	echoed2 := collect(conn2)
+	payload := bytes.Repeat([]byte("x"), 20_000)
+	app.Source(conn2, payload, false)
+	net.RunFor(10 * time.Second)
+	if !bytes.Equal(*echoed2, payload) {
+		t.Fatalf("post-recommission echo incomplete: %d bytes", len(*echoed2))
+	}
+	if got := replicas[0].FTManager().Port(testSvc); got == nil || got.Conns() != 1 {
+		t.Fatal("recommissioned replica is not tracking the new connection")
+	}
+
+	// ...and survives the death of the current primary: full circle.
+	svc.CrashPrimary() // kills s1
+	conn2.Write([]byte("after second failover"))
+	net.RunFor(90 * time.Second)
+	want := append(append([]byte(nil), payload...), []byte("after second failover")...)
+	if !bytes.Equal(*echoed2, want) {
+		t.Fatalf("second failover onto recommissioned host failed: got %d bytes, want %d",
+			len(*echoed2), len(want))
+	}
+	if got := svc.Chain(); len(got) != 1 || got[0] != replicas[0].Addr() {
+		t.Fatalf("final chain = %v, want [s0]", got)
+	}
+	if p := svc.Primary(); p == nil || p.Host != replicas[0] {
+		t.Fatal("recommissioned host not promoted")
+	}
+}
+
+func TestRecommissionRequiresRestart(t *testing.T) {
+	net, _, rd, replicas := ftTopology(t, 23, 2)
+	svc, err := net.DeployFT(testSvc, rd, replicas, FTOptions{}, echoAccept())
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.Settle()
+	replicas[0].Crash()
+	if err := svc.Recommission(replicas[0]); err == nil {
+		t.Fatal("recommissioning a dead host succeeded")
+	}
+}
+
+func TestRecommissionRejectsStranger(t *testing.T) {
+	net, _, rd, replicas := ftTopology(t, 24, 2)
+	svc, err := net.DeployFT(testSvc, rd, replicas, FTOptions{}, echoAccept())
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.Settle()
+	stranger := net.AddHost("stranger", HostConfig{})
+	net.Link(stranger, rd.Host, LinkConfig{})
+	net.AutoRoute()
+	if err := svc.Recommission(stranger); err == nil {
+		t.Fatal("recommissioning a never-member host succeeded")
+	}
+}
+
+func TestManyClientsSurviveFailover(t *testing.T) {
+	net, _, rd, replicas := ftTopology(t, 25, 3)
+	svc, err := net.DeployFT(testSvc, rd, replicas, FTOptions{}, echoAccept())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Several independent client hosts.
+	const n = 5
+	var clients []*Host
+	for i := 0; i < n; i++ {
+		h := net.AddHost("c"+string(rune('0'+i)), HostConfig{})
+		clients = append(clients, h)
+		net.Link(h, rd.Host, LinkConfig{Rate: 10_000_000, Delay: time.Millisecond})
+	}
+	net.AutoRoute()
+	net.Settle()
+
+	payloads := make([][]byte, n)
+	echoes := make([]*[]byte, n)
+	for i, h := range clients {
+		payload := bytes.Repeat([]byte{byte('A' + i)}, 30_000+1000*i)
+		payloads[i] = payload
+		conn, err := h.Dial(testSvc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		echoes[i] = collect(conn)
+		app.Source(conn, payload, false)
+	}
+	net.RunFor(200 * time.Millisecond)
+	svc.CrashPrimary()
+	net.RunFor(3 * time.Minute)
+
+	for i := range clients {
+		if !bytes.Equal(*echoes[i], payloads[i]) {
+			t.Errorf("client %d: echo %d of %d bytes after failover",
+				i, len(*echoes[i]), len(payloads[i]))
+		}
+	}
+	// Every replica carries all n connections (one per client).
+	for _, r := range svc.Replicas()[1:] {
+		if got := r.Port.Conns(); got != n {
+			t.Errorf("replica %s tracks %d conns, want %d", r.Host.Name(), got, n)
+		}
+	}
+}
+
+func TestTwoIndependentFTServices(t *testing.T) {
+	net, client, rd, replicas := ftTopology(t, 26, 2)
+	svcA := ServiceID{Addr: MustAddr("192.20.225.20"), Port: 80}
+	svcB := ServiceID{Addr: MustAddr("192.20.225.21"), Port: 9000}
+	// Service A: s0 primary; service B: s1 primary (reversed order).
+	a, err := net.DeployFT(svcA, rd, replicas, FTOptions{}, echoAccept())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := net.DeployFT(svcB, rd, []*Host{replicas[1], replicas[0]}, FTOptions{}, echoAccept())
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.Settle()
+
+	connA, _ := client.Dial(svcA)
+	connB, _ := client.Dial(svcB)
+	echoA, echoB := collect(connA), collect(connB)
+	app.Source(connA, []byte("service A"), false)
+	app.Source(connB, []byte("service B"), false)
+	net.RunFor(5 * time.Second)
+	if string(*echoA) != "service A" || string(*echoB) != "service B" {
+		t.Fatalf("echoes: %q / %q", *echoA, *echoB)
+	}
+
+	// Crash s0: primary of A, backup of B. Both must keep working.
+	replicas[0].Crash()
+	connA.Write([]byte("|survives"))
+	connB.Write([]byte("|survives"))
+	net.RunFor(90 * time.Second)
+	if string(*echoA) != "service A|survives" {
+		t.Errorf("service A after its primary died: %q", *echoA)
+	}
+	if string(*echoB) != "service B|survives" {
+		t.Errorf("service B after its backup died: %q", *echoB)
+	}
+	if got := a.Chain(); len(got) != 1 || got[0] != replicas[1].Addr() {
+		t.Errorf("service A chain = %v", got)
+	}
+	if got := b.Chain(); len(got) != 1 || got[0] != replicas[1].Addr() {
+		t.Errorf("service B chain = %v", got)
+	}
+}
