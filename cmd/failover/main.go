@@ -7,6 +7,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -16,16 +17,24 @@ import (
 	"hydranet/internal/testbed"
 )
 
+// row is one threshold's result in -json output (durations in milliseconds).
+type row struct {
+	Threshold      int     `json:"threshold"`
+	DetectMS       float64 `json:"detect_ms"`
+	ResumeMS       float64 `json:"resume_ms"`
+	Suspicions     uint64  `json:"suspicions"`
+	FalseReconfigs int     `json:"false_reconfigs"`
+	ClientError    string  `json:"client_error,omitempty"`
+}
+
 func main() {
 	backups := flag.Int("backups", 1, "number of backup replicas")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	loss := flag.Float64("loss", 0, "link loss probability (for false-positive measurement)")
+	jsonOut := flag.Bool("json", false, "emit machine-readable JSON instead of the table")
 	flag.Parse()
 
-	fmt.Printf("HydraNet-FT fail-over latency vs detection threshold (%d backup(s), seed %d)\n\n",
-		*backups, *seed)
-	w := tabwriter.NewWriter(os.Stdout, 8, 0, 2, ' ', tabwriter.AlignRight)
-	fmt.Fprintln(w, "threshold\tdetect [ms]\tresume [ms]\tsuspicions\tfalse reconfigs\t")
+	var rows []row
 	for _, threshold := range []int{1, 2, 3, 4, 6, 8} {
 		res := testbed.MeasureFailover(testbed.FailoverConfig{
 			Threshold: threshold,
@@ -33,12 +42,44 @@ func main() {
 			Seed:      *seed,
 			Loss:      *loss,
 		})
+		r := row{
+			Threshold:      threshold,
+			DetectMS:       res.Detected.Seconds() * 1000,
+			ResumeMS:       res.Resumed.Seconds() * 1000,
+			Suspicions:     res.Suspicions,
+			FalseReconfigs: res.FalseReconfigs,
+		}
 		if res.ClientError != nil {
-			fmt.Fprintf(w, "%d\tclient connection failed: %v\t\t\t\t\n", threshold, res.ClientError)
+			r.ClientError = res.ClientError.Error()
+		}
+		rows = append(rows, r)
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(map[string]any{
+			"backups": *backups, "seed": *seed, "loss": *loss, "results": rows,
+		}); err != nil {
+			fmt.Fprintf(os.Stderr, "failover: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	fmt.Printf("HydraNet-FT fail-over latency vs detection threshold (%d backup(s), seed %d)\n\n",
+		*backups, *seed)
+	w := tabwriter.NewWriter(os.Stdout, 8, 0, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintln(w, "threshold\tdetect [ms]\tresume [ms]\tsuspicions\tfalse reconfigs\t")
+	for _, r := range rows {
+		if r.ClientError != "" {
+			fmt.Fprintf(w, "%d\tclient connection failed: %s\t\t\t\t\n", r.Threshold, r.ClientError)
 			continue
 		}
-		fmt.Fprintf(w, "%d\t%s\t%s\t%d\t%d\t\n",
-			threshold, ms(res.Detected), ms(res.Resumed), res.Suspicions, res.FalseReconfigs)
+		fmt.Fprintf(w, "%d\t%s\t%s\t%d\t%d\t\n", r.Threshold,
+			ms(time.Duration(r.DetectMS*float64(time.Millisecond))),
+			ms(time.Duration(r.ResumeMS*float64(time.Millisecond))),
+			r.Suspicions, r.FalseReconfigs)
 	}
 	w.Flush()
 	fmt.Println("\ndetect: crash → redirector reconfiguration; resume: crash → first new byte at the client")

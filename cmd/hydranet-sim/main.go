@@ -3,19 +3,56 @@
 // optionally the primary (or a backup) is crashed mid-stream, and the tool
 // reports the timeline — registration, chain construction, suspicion,
 // reconfiguration, promotion — plus final per-component statistics.
+//
+// Observability flags:
+//
+//	-events <kinds>  stream selected bus events (comma-separated kind
+//	                 names, or "all"); -events list shows the kinds
+//	-v               shorthand for the management kinds (registration,
+//	                 reconfig, suspicion, promotion, crash/restart)
+//	-stats           print a net-wide counter summary at the end
+//	-stats-json F    write the full snapshot (with failover timeline) to F
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"hydranet"
 	"hydranet/internal/app"
-	"hydranet/internal/core"
+	"hydranet/internal/obs"
 	"hydranet/internal/trace"
 )
+
+// verboseKinds are the management-plane events -v narrates.
+var verboseKinds = []hydranet.EventKind{
+	hydranet.KindRegistration, hydranet.KindReconfig, hydranet.KindSuspicion,
+	hydranet.KindPromotion, hydranet.KindDemotion, hydranet.KindRecommission,
+	hydranet.KindNodeCrash, hydranet.KindNodeRestart,
+}
+
+// parseKinds resolves a comma-separated -events pattern to kinds.
+func parseKinds(pattern string) ([]hydranet.EventKind, error) {
+	if pattern == "all" || pattern == "*" {
+		return obs.Kinds(), nil
+	}
+	var out []hydranet.EventKind
+	for _, name := range strings.Split(pattern, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		k, ok := obs.KindByName(name)
+		if !ok {
+			return nil, fmt.Errorf("unknown event kind %q", name)
+		}
+		out = append(out, k)
+	}
+	return out, nil
+}
 
 func main() {
 	replicas := flag.Int("replicas", 3, "total replicas (1 primary + N-1 backups)")
@@ -24,10 +61,19 @@ func main() {
 	crashWho := flag.String("crash", "primary", "which replica to crash: primary, backup, none")
 	threshold := flag.Int("threshold", 3, "failure detector retransmission threshold")
 	seed := flag.Int64("seed", 1, "simulation seed")
-	verbose := flag.Bool("v", false, "log every management reconfiguration")
+	verbose := flag.Bool("v", false, "narrate management events (registration, reconfiguration, promotion)")
+	events := flag.String("events", "", "stream bus events of these kinds (comma-separated, \"all\", or \"list\")")
+	stats := flag.Bool("stats", false, "print net-wide statistics at the end")
+	statsJSON := flag.String("stats-json", "", "write the final snapshot as JSON to this file (\"-\" = stdout)")
 	traceSegs := flag.Int("trace", 0, "emit up to N tcpdump-style segment trace lines")
 	flag.Parse()
 
+	if *events == "list" {
+		for _, k := range obs.Kinds() {
+			fmt.Println(k)
+		}
+		return
+	}
 	if *replicas < 1 {
 		fmt.Fprintln(os.Stderr, "hydranet-sim: need at least one replica")
 		os.Exit(1)
@@ -56,6 +102,22 @@ func main() {
 		}
 	}
 
+	// -v and -events share one code path: both subscribe the same printer
+	// to the observability bus, just for different kind sets.
+	bus := net.Bus()
+	watched, err := parseKinds(*events)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hydranet-sim: -events: %v (try -events list)\n", err)
+		os.Exit(1)
+	}
+	if *verbose {
+		watched = append(watched, verboseKinds...)
+	}
+	if len(watched) > 0 {
+		bus.Subscribe(func(e hydranet.Event) { fmt.Println(e) }, watched...)
+	}
+	probe := net.NewFailoverProbe()
+
 	logf := func(format string, args ...any) {
 		fmt.Printf("%10s  %s\n", net.Now().Round(time.Microsecond), fmt.Sprintf(format, args...))
 	}
@@ -67,9 +129,6 @@ func main() {
 		fmt.Fprintf(os.Stderr, "hydranet-sim: %v\n", err)
 		os.Exit(1)
 	}
-	rd.Daemon().OnReconfig(func(s core.ServiceID, failed []hydranet.Addr) {
-		logf("redirector reconfigured %s: removed %v, chain now %v", s, failed, ftsvc.Chain())
-	})
 	logf("deployed %s across %d replicas", svc, *replicas)
 	net.Settle()
 	logf("chain established: %v (primary first)", ftsvc.Chain())
@@ -88,6 +147,11 @@ func main() {
 				break
 			}
 			received += n
+			if bus.Enabled(hydranet.KindClientDeliver) {
+				bus.Publish(hydranet.Event{
+					Kind: hydranet.KindClientDeliver, Node: "client", Size: n,
+				})
+			}
 		}
 	})
 	conn.OnClosed(func(err error) {
@@ -143,10 +207,72 @@ func main() {
 			r.Host.Name(), r.Port.Mode(), status,
 			ms.ChainMsgsSent, ms.ChainMsgsReceived, ms.Suspicions, ms.Promotions)
 	}
+
+	report := probe.Report()
+	if report.CrashAt > 0 {
+		fmt.Println("\nfailover timeline:")
+		fmt.Printf("  crash            %v\n", report.CrashAt)
+		fmt.Printf("  detection        %v\n", report.Detection)
+		fmt.Printf("  reconfiguration  %v\n", report.Reconfiguration)
+		fmt.Printf("  client stall     %v  (complete: %v)\n", report.ClientStall, report.Complete)
+	}
+
+	snap := net.Snapshot()
+	if report.CrashAt > 0 {
+		snap.Failover = &report
+	}
+	if *stats {
+		printSnapshot(snap)
+	}
+	if *statsJSON != "" {
+		out, err := snap.JSON()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hydranet-sim: -stats-json: %v\n", err)
+			os.Exit(1)
+		}
+		out = append(out, '\n')
+		if *statsJSON == "-" {
+			os.Stdout.Write(out)
+		} else if err := os.WriteFile(*statsJSON, out, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "hydranet-sim: -stats-json: %v\n", err)
+			os.Exit(1)
+		}
+	}
 	if *verbose {
 		fmt.Printf("\nvirtual time elapsed: %v\n", net.Now())
 	}
 	if received < *bytes {
 		os.Exit(1)
+	}
+}
+
+// printSnapshot renders the net-wide snapshot as tables.
+func printSnapshot(s hydranet.Snapshot) {
+	fmt.Printf("\nnet-wide statistics at %v:\n", s.Time)
+	fmt.Printf("  %-8s %6s %6s %6s | %8s %8s %6s %5s %5s | %10s %10s\n",
+		"host", "frTx", "frRx", "frDrp", "segsOut", "segsIn", "rexmt", "rto", "fast", "bytesOut", "bytesIn")
+	for _, h := range s.Hosts {
+		mark := ""
+		if !h.Alive {
+			mark = " (down)"
+		}
+		fmt.Printf("  %-8s %6d %6d %6d | %8d %8d %6d %5d %5d | %10d %10d%s\n",
+			h.Name, h.Frames.Sent, h.Frames.Received, h.Frames.Dropped,
+			h.TCP.SegsOut, h.TCP.SegsIn,
+			h.Conns.Retransmits, h.Conns.RTOEvents, h.Conns.FastRetransmits,
+			h.Conns.BytesSent, h.Conns.BytesReceived, mark)
+	}
+	fmt.Printf("  %-17s %8s %6s %6s | %8s %6s %6s\n",
+		"link", "a→b tx", "lost", "qdrop", "b→a tx", "lost", "qdrop")
+	for _, l := range s.Links {
+		fmt.Printf("  %-8s-%-8s %8d %6d %6d | %8d %6d %6d\n",
+			l.A, l.B, l.AB.TxFrames, l.AB.Lost, l.AB.QueueDrop,
+			l.BA.TxFrames, l.BA.Lost, l.BA.QueueDrop)
+	}
+	for _, h := range s.Hosts {
+		if h.RTT != nil {
+			fmt.Printf("  %s rtt: n=%d p50=%.2fms p99=%.2fms max=%.2fms\n",
+				h.Name, h.RTT.Count, h.RTT.P50, h.RTT.P99, h.RTT.Max)
+		}
 	}
 }

@@ -37,6 +37,7 @@ import (
 	"hydranet/internal/icmp"
 	"hydranet/internal/ipv4"
 	"hydranet/internal/netsim"
+	"hydranet/internal/obs"
 	"hydranet/internal/redirector"
 	"hydranet/internal/rmp"
 	"hydranet/internal/sim"
@@ -105,6 +106,7 @@ type Net struct {
 	cfg   Config
 	sched *sim.Scheduler
 	fab   *netsim.Network
+	bus   *obs.Bus
 
 	hosts       []*Host
 	redirectors []*Redirector
@@ -124,8 +126,14 @@ type linkInfo struct {
 // New creates an empty network.
 func New(cfg Config) *Net {
 	s := sim.NewScheduler(cfg.Seed)
-	return &Net{cfg: cfg, sched: s, fab: netsim.New(s)}
+	n := &Net{cfg: cfg, sched: s, fab: netsim.New(s), bus: obs.NewBus(s.Now)}
+	n.fab.SetBus(n.bus)
+	return n
 }
+
+// Bus returns the network-wide observability event bus. Every layer emits
+// on it; with no subscribers emission is disabled and costs nothing.
+func (n *Net) Bus() *obs.Bus { return n.bus }
 
 // Now returns the current virtual time.
 func (n *Net) Now() time.Duration { return n.sched.Now() }
@@ -174,6 +182,7 @@ func (n *Net) AddHost(name string, cfg HostConfig) *Host {
 		tcpCfg = *cfg.TCP
 	}
 	h.tcp = tcp.NewStack(h.ip, tcpCfg)
+	h.tcp.SetBus(n.bus)
 	h.icmp = icmp.NewStack(h.ip)
 	h.hs = hostserver.New(h.ip)
 	n.hosts = append(n.hosts, h)
@@ -242,6 +251,7 @@ func (h *Host) FTManager() *core.Manager {
 		if err != nil {
 			panic(fmt.Sprintf("hydranet: %s: %v", h.name, err))
 		}
+		mgr.SetBus(h.net.bus)
 		h.mgr = mgr
 	}
 	return h.mgr
@@ -294,6 +304,7 @@ func (n *Net) AddRedirector(name string, cfg HostConfig) *Redirector {
 	h := n.AddHost(name, cfg)
 	h.ip.SetForwarding(true)
 	r := &Redirector{Host: h, rd: redirector.New(h.ip)}
+	r.rd.SetBus(n.bus)
 	n.redirectors = append(n.redirectors, r)
 	return r
 }
@@ -309,6 +320,7 @@ func (r *Redirector) Daemon() *rmp.RedirectorDaemon {
 		if err != nil {
 			panic(fmt.Sprintf("hydranet: %s: %v", r.Host.name, err))
 		}
+		d.SetBus(r.Host.net.bus, r.Host.name)
 		r.dmn = d
 	}
 	return r.dmn

@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"hydranet/internal/ipv4"
+	"hydranet/internal/obs"
 	"hydranet/internal/sim"
 	"hydranet/internal/tcp"
 	"hydranet/internal/udp"
@@ -111,6 +112,7 @@ type Manager struct {
 	ports    map[ServiceID]*ReplicatedPort
 	stats    Stats
 	suspect  SuspectFunc
+	bus      *obs.Bus
 
 	// chainLoss artificially drops outgoing acknowledgment-channel
 	// messages with the given probability — an ablation instrument for
@@ -137,6 +139,12 @@ func NewManager(tcpStack *tcp.Stack, udpStack *udp.Stack, hostAddr ipv4.Addr) (*
 
 // OnSuspect installs the failure-report callback.
 func (m *Manager) OnSuspect(fn SuspectFunc) { m.suspect = fn }
+
+// SetBus attaches an observability event bus for chain-channel, suspicion
+// and role-change events. A nil bus (the default) disables all emission.
+func (m *Manager) SetBus(b *obs.Bus) { m.bus = b }
+
+func (m *Manager) nodeName() string { return m.tcpStack.IP().Node().Name() }
 
 // SetChainLoss makes the manager drop outgoing acknowledgment-channel
 // messages with probability p (ablation instrument; default 0).
@@ -187,6 +195,13 @@ func (m *Manager) onChainDatagram(_ udp.Endpoint, _ ipv4.Addr, payload []byte) {
 		return
 	}
 	m.stats.ChainMsgsReceived++
+	if b := m.bus; b.Enabled(obs.KindChainRecv) {
+		b.Publish(obs.Event{
+			Kind: obs.KindChainRecv, Node: m.nodeName(),
+			Service: msg.Service.String(), Conn: msg.Client.String(),
+			Seq: uint64(msg.SndNxt),
+		})
+	}
 	p := m.ports[msg.Service]
 	if p == nil {
 		m.stats.ChainMsgsOrphan++
@@ -279,6 +294,13 @@ func (p *ReplicatedPort) Promote() {
 	p.mode = ModePrimary
 	p.upstream = udp.Endpoint{}
 	p.mgr.stats.Promotions++
+	if b := p.mgr.bus; b.Enabled(obs.KindPromotion) {
+		b.Publish(obs.Event{
+			Kind: obs.KindPromotion, Node: p.mgr.nodeName(),
+			Service: p.svc.String(),
+			Detail:  fmt.Sprintf("%d conns", len(p.conns)),
+		})
+	}
 	for _, fc := range p.conns {
 		if fc.conn == nil {
 			continue
@@ -298,6 +320,12 @@ func (p *ReplicatedPort) Demote() {
 		return
 	}
 	p.mode = ModeBackup
+	if b := p.mgr.bus; b.Enabled(obs.KindDemotion) {
+		b.Publish(obs.Event{
+			Kind: obs.KindDemotion, Node: p.mgr.nodeName(),
+			Service: p.svc.String(),
+		})
+	}
 	for _, fc := range p.conns {
 		if fc.conn != nil {
 			fc.installHooks()
@@ -439,6 +467,13 @@ func (fc *ftConn) sendChainMsg(sndNxt, rcvNxt tcp.Seq) {
 		return // ablation: lost acknowledgment-channel message
 	}
 	p.mgr.stats.ChainMsgsSent++
+	if b := p.mgr.bus; b.Enabled(obs.KindChainSend) {
+		b.Publish(obs.Event{
+			Kind: obs.KindChainSend, Node: p.mgr.nodeName(),
+			Service: p.svc.String(), Conn: msg.Client.String(),
+			Seq: uint64(sndNxt),
+		})
+	}
 	// Send errors mean no route to the predecessor — the chain is broken
 	// and reconfiguration will handle it; nothing to do here.
 	_ = p.mgr.udpStack.SendTo(p.mgr.hostAddr, AckChannelPort, p.upstream, msg.Marshal()) //nolint:errcheck
@@ -461,6 +496,13 @@ func (fc *ftConn) onClientRetransmit() {
 	p.lastSuspect = now
 	fc.retransmits = 0
 	p.mgr.stats.Suspicions++
+	if b := p.mgr.bus; b.Enabled(obs.KindSuspicion) {
+		b.Publish(obs.Event{
+			Kind: obs.KindSuspicion, Node: p.mgr.nodeName(),
+			Service: p.svc.String(),
+			Detail:  fmt.Sprintf("after %d retransmissions", p.det.RetransmitThreshold),
+		})
+	}
 	if p.mgr.suspect != nil {
 		p.mgr.suspect(p.svc)
 	}

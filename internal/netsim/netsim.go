@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"time"
 
+	"hydranet/internal/obs"
 	"hydranet/internal/sim"
 )
 
@@ -26,12 +27,18 @@ type Network struct {
 	sched *sim.Scheduler
 	nodes []*Node
 	links []*Link
+	bus   *obs.Bus
 }
 
 // New returns an empty network driven by the given scheduler.
 func New(sched *sim.Scheduler) *Network {
 	return &Network{sched: sched}
 }
+
+// SetBus attaches an observability event bus; the fabric emits frame-drop
+// and crash/restart events on it. A nil bus (the default) disables all
+// emission.
+func (n *Network) SetBus(b *obs.Bus) { n.bus = b }
 
 // Scheduler returns the scheduler driving this network.
 func (n *Network) Scheduler() *sim.Scheduler { return n.sched }
@@ -144,10 +151,20 @@ func (nd *Node) Alive() bool { return nd.alive }
 
 // Crash fail-stops the node: it silently discards all traffic and performs
 // no further processing, matching the fail-stop model in the paper.
-func (nd *Node) Crash() { nd.alive = false }
+func (nd *Node) Crash() {
+	nd.alive = false
+	if b := nd.net.bus; b.Enabled(obs.KindNodeCrash) {
+		b.Publish(obs.Event{Kind: obs.KindNodeCrash, Node: nd.name})
+	}
+}
 
 // Restart brings a crashed node back (higher layers must re-register state).
-func (nd *Node) Restart() { nd.alive = true }
+func (nd *Node) Restart() {
+	nd.alive = true
+	if b := nd.net.bus; b.Enabled(obs.KindNodeRestart) {
+		b.Publish(obs.Event{Kind: obs.KindNodeRestart, Node: nd.name})
+	}
+}
 
 // Stats returns cumulative frames sent, received and dropped at this node.
 func (nd *Node) Stats() (sent, received, dropped uint64) {
@@ -178,6 +195,12 @@ func (nd *Node) Send(ifindex int, frame []byte) {
 	ifc := nd.ifaces[ifindex]
 	if len(frame) > ifc.link.cfg.MTU {
 		nd.dropped++
+		if b := nd.net.bus; b.Enabled(obs.KindMTUDrop) {
+			b.Publish(obs.Event{
+				Kind: obs.KindMTUDrop, Node: nd.name, Size: len(frame),
+				Detail: fmt.Sprintf("mtu %d", ifc.link.cfg.MTU),
+			})
+		}
 		return
 	}
 	nd.sent++
@@ -262,10 +285,22 @@ func (l *Link) transmit(side int, frame []byte) {
 	size := len(frame)
 	if l.backlog[side]+size > l.cfg.QueueBytes {
 		l.queueDrop[side]++
+		if b := l.net.bus; b.Enabled(obs.KindQueueDrop) {
+			b.Publish(obs.Event{
+				Kind: obs.KindQueueDrop, Node: l.ends[side].node.name, Size: size,
+				Detail: "→" + l.ends[1-side].node.name,
+			})
+		}
 		return
 	}
 	if l.cfg.Loss > 0 && s.Rand().Float64() < l.cfg.Loss {
 		l.lost[side]++
+		if b := l.net.bus; b.Enabled(obs.KindPacketLoss) {
+			b.Publish(obs.Event{
+				Kind: obs.KindPacketLoss, Node: l.ends[side].node.name, Size: size,
+				Detail: "→" + l.ends[1-side].node.name,
+			})
+		}
 		return
 	}
 	l.backlog[side] += size

@@ -1,0 +1,209 @@
+// Package obs is the observability spine of the HydraNet-FT reproduction:
+// a structured event bus carried on the virtual clock, net-wide counter
+// snapshots, and a failover-timeline probe reproducing the paper's Table-2
+// style decomposition (detection latency, reconfiguration latency,
+// client-visible stall).
+//
+// The bus is designed to be free when nobody listens: every emit site
+// guards with Bus.Enabled(kind), a nil-safe bitmask test, and only builds
+// the Event value when a subscriber exists. The simulation is
+// single-threaded (see internal/sim), so the bus performs no locking;
+// subscribers run synchronously at the emitting event's virtual time.
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Kind enumerates event types.
+type Kind uint8
+
+// Event kinds, grouped by the emitting layer.
+const (
+	// netsim fabric.
+	KindPacketLoss  Kind = iota // frame lost to random link loss
+	KindQueueDrop               // frame dropped at a full drop-tail queue
+	KindMTUDrop                 // frame larger than the link MTU
+	KindNodeCrash               // fail-stop
+	KindNodeRestart             // recovery
+
+	// tcp.
+	KindRetransmit     // data segment retransmitted
+	KindRTO            // retransmission timeout fired
+	KindFastRetransmit // triple-duplicate-ACK recovery entered
+
+	// redirector.
+	KindMulticast   // FT fan-out: one client packet copied to the replica set
+	KindRedirect    // scaling-mode nearest-replica tunnel
+	KindTunnelError // tunnel copy dropped (no route / marshal failure)
+
+	// ft-TCP core.
+	KindChainSend // acknowledgment-channel message sent upstream
+	KindChainRecv // acknowledgment-channel message received from successor
+	KindSuspicion // failure estimator tripped
+	KindPromotion // backup promoted to primary
+	KindDemotion  // primary demoted to backup (management race repair)
+
+	// replica management.
+	KindRegistration // replica registered with the redirector daemon
+	KindReconfig     // chain reconfigured (failure, leave, lease, eviction)
+	KindRecommission // recovered host rejoined a replica set
+
+	// measurement harnesses (published by CLIs and tests, not by the stack).
+	KindClientDeliver // client application consumed service bytes
+
+	numKinds
+)
+
+var kindNames = [numKinds]string{
+	KindPacketLoss:     "packet-loss",
+	KindQueueDrop:      "queue-drop",
+	KindMTUDrop:        "mtu-drop",
+	KindNodeCrash:      "node-crash",
+	KindNodeRestart:    "node-restart",
+	KindRetransmit:     "retransmit",
+	KindRTO:            "rto",
+	KindFastRetransmit: "fast-retransmit",
+	KindMulticast:      "multicast",
+	KindRedirect:       "redirect",
+	KindTunnelError:    "tunnel-error",
+	KindChainSend:      "chain-send",
+	KindChainRecv:      "chain-recv",
+	KindSuspicion:      "suspicion",
+	KindPromotion:      "promotion",
+	KindDemotion:       "demotion",
+	KindRegistration:   "registration",
+	KindReconfig:       "reconfig",
+	KindRecommission:   "recommission",
+	KindClientDeliver:  "client-deliver",
+}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// MarshalJSON renders the kind by name.
+func (k Kind) MarshalJSON() ([]byte, error) {
+	return []byte(`"` + k.String() + `"`), nil
+}
+
+// Kinds returns every defined kind, in declaration order.
+func Kinds() []Kind {
+	out := make([]Kind, numKinds)
+	for i := range out {
+		out[i] = Kind(i)
+	}
+	return out
+}
+
+// KindByName resolves a kind name ("promotion", "chain-send", ...).
+func KindByName(name string) (Kind, bool) {
+	for i, n := range kindNames {
+		if n == name {
+			return Kind(i), true
+		}
+	}
+	return 0, false
+}
+
+// Event is one structured observation, timestamped in virtual time.
+type Event struct {
+	Time    time.Duration `json:"time"`
+	Kind    Kind          `json:"kind"`
+	Node    string        `json:"node,omitempty"`    // emitting node
+	Service string        `json:"service,omitempty"` // service addr:port
+	Conn    string        `json:"conn,omitempty"`    // remote/client endpoint
+	Seq     uint64        `json:"seq,omitempty"`     // sequence-number detail
+	Size    int           `json:"size,omitempty"`    // bytes or copy count
+	Detail  string        `json:"detail,omitempty"`  // free-form extra
+}
+
+// Text renders everything but the timestamp and node, for log lines whose
+// prefix a renderer (the tracer) supplies itself.
+func (e Event) Text() string {
+	var b strings.Builder
+	b.WriteString(e.Kind.String())
+	if e.Service != "" {
+		b.WriteString(" svc=")
+		b.WriteString(e.Service)
+	}
+	if e.Conn != "" {
+		b.WriteString(" conn=")
+		b.WriteString(e.Conn)
+	}
+	if e.Seq != 0 {
+		fmt.Fprintf(&b, " seq=%d", e.Seq)
+	}
+	if e.Size != 0 {
+		fmt.Fprintf(&b, " size=%d", e.Size)
+	}
+	if e.Detail != "" {
+		b.WriteByte(' ')
+		b.WriteString(e.Detail)
+	}
+	return b.String()
+}
+
+// String renders the full event as one line.
+func (e Event) String() string {
+	return fmt.Sprintf("%12s %-10s %s", e.Time.Round(time.Microsecond), e.Node, e.Text())
+}
+
+// Handler consumes events, synchronously, at the emitting virtual time.
+type Handler func(Event)
+
+// Bus routes events from emitters to subscribers. The zero-subscriber case
+// is the fast path: Enabled is a nil check plus one bitmask test, and no
+// Event value is ever built. A nil *Bus is valid and permanently disabled,
+// so components can hold a bus pointer without wiring.
+type Bus struct {
+	now  func() time.Duration
+	mask uint64
+	subs [numKinds][]Handler
+}
+
+// NewBus creates a bus stamping events with the given clock (normally
+// Scheduler.Now).
+func NewBus(now func() time.Duration) *Bus {
+	return &Bus{now: now}
+}
+
+// Enabled reports whether at least one subscriber listens for kind. Emit
+// sites must guard with it so that building the Event costs nothing when
+// observability is off.
+func (b *Bus) Enabled(k Kind) bool {
+	return b != nil && b.mask&(1<<k) != 0
+}
+
+// Subscribe registers h for the given kinds (all kinds when none given).
+func (b *Bus) Subscribe(h Handler, kinds ...Kind) {
+	if len(kinds) == 0 {
+		kinds = Kinds()
+	}
+	for _, k := range kinds {
+		if int(k) >= int(numKinds) {
+			continue
+		}
+		b.subs[k] = append(b.subs[k], h)
+		b.mask |= 1 << k
+	}
+}
+
+// Publish stamps the event with the current virtual time (unless the
+// emitter set one) and delivers it to every subscriber of its kind.
+func (b *Bus) Publish(e Event) {
+	if b == nil || b.mask&(1<<e.Kind) == 0 {
+		return
+	}
+	if e.Time == 0 && b.now != nil {
+		e.Time = b.now()
+	}
+	for _, h := range b.subs[e.Kind] {
+		h(e)
+	}
+}

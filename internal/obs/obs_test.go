@@ -1,0 +1,214 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func testClock(now *time.Duration) func() time.Duration {
+	return func() time.Duration { return *now }
+}
+
+func TestBusPubSub(t *testing.T) {
+	now := 5 * time.Millisecond
+	b := NewBus(testClock(&now))
+	var got []Event
+	b.Subscribe(func(e Event) { got = append(got, e) }, KindRetransmit, KindRTO)
+
+	if !b.Enabled(KindRetransmit) || !b.Enabled(KindRTO) {
+		t.Fatal("subscribed kinds not enabled")
+	}
+	if b.Enabled(KindPromotion) {
+		t.Fatal("unsubscribed kind reported enabled")
+	}
+
+	b.Publish(Event{Kind: KindRetransmit, Node: "s0", Seq: 42})
+	b.Publish(Event{Kind: KindPromotion, Node: "s1"}) // no subscriber: dropped
+	b.Publish(Event{Kind: KindRTO, Node: "s0"})
+
+	if len(got) != 2 {
+		t.Fatalf("received %d events, want 2", len(got))
+	}
+	if got[0].Kind != KindRetransmit || got[0].Seq != 42 {
+		t.Fatalf("first event = %+v", got[0])
+	}
+	if got[0].Time != 5*time.Millisecond {
+		t.Fatalf("event not timestamped from clock: %v", got[0].Time)
+	}
+}
+
+func TestBusSubscribeAllKinds(t *testing.T) {
+	now := time.Duration(0)
+	b := NewBus(testClock(&now))
+	n := 0
+	b.Subscribe(func(Event) { n++ }) // no kinds = all kinds
+	for _, k := range Kinds() {
+		if !b.Enabled(k) {
+			t.Fatalf("kind %v not enabled by all-kinds subscription", k)
+		}
+		b.Publish(Event{Kind: k})
+	}
+	if n != len(Kinds()) {
+		t.Fatalf("received %d events, want %d", n, len(Kinds()))
+	}
+}
+
+func TestBusNilSafe(t *testing.T) {
+	var b *Bus
+	if b.Enabled(KindRetransmit) {
+		t.Fatal("nil bus reports enabled")
+	}
+	b.Publish(Event{Kind: KindRetransmit}) // must not panic
+}
+
+func TestBusDisabledEmitAllocatesNothing(t *testing.T) {
+	now := time.Duration(0)
+	b := NewBus(testClock(&now))
+	b.Subscribe(func(Event) {}, KindPromotion) // something else enabled
+	allocs := testing.AllocsPerRun(100, func() {
+		// The emit-site pattern: guard first, build the Event only inside.
+		if b.Enabled(KindRetransmit) {
+			b.Publish(Event{Kind: KindRetransmit, Node: "s0", Detail: "x"})
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled emit allocates %v per run, want 0", allocs)
+	}
+}
+
+func TestKindNamesRoundTrip(t *testing.T) {
+	for _, k := range Kinds() {
+		name := k.String()
+		if name == "" || strings.Contains(name, "Kind(") {
+			t.Fatalf("kind %d has no name", k)
+		}
+		back, ok := KindByName(name)
+		if !ok || back != k {
+			t.Fatalf("KindByName(%q) = %v, %v", name, back, ok)
+		}
+	}
+	if _, ok := KindByName("no-such-kind"); ok {
+		t.Fatal("bogus name resolved")
+	}
+}
+
+func TestEventJSONUsesKindName(t *testing.T) {
+	e := Event{Time: time.Second, Kind: KindSuspicion, Node: "s1", Service: "10.0.0.1:80"}
+	out, err := json.Marshal(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(out), `"kind":"suspicion"`) {
+		t.Fatalf("kind not rendered by name: %s", out)
+	}
+}
+
+func TestFailoverProbe(t *testing.T) {
+	now := time.Duration(0)
+	b := NewBus(testClock(&now))
+	p := NewFailoverProbe(b)
+
+	// Suspicion before any crash must be ignored.
+	now = 50 * time.Millisecond
+	b.Publish(Event{Kind: KindSuspicion, Node: "s1"})
+	if p.Report().SuspicionAt != 0 {
+		t.Fatal("pre-crash suspicion recorded")
+	}
+
+	now = 100 * time.Millisecond
+	b.Publish(Event{Kind: KindNodeCrash, Node: "s0"})
+	// Client deliveries before promotion don't count as recovery.
+	now = 150 * time.Millisecond
+	b.Publish(Event{Kind: KindClientDeliver, Node: "client"})
+	now = 400 * time.Millisecond
+	b.Publish(Event{Kind: KindSuspicion, Node: "s1"})
+	now = 600 * time.Millisecond
+	b.Publish(Event{Kind: KindReconfig, Node: "rd"})
+	now = 650 * time.Millisecond
+	b.Publish(Event{Kind: KindPromotion, Node: "s1"})
+	now = 700 * time.Millisecond
+	b.Publish(Event{Kind: KindClientDeliver, Node: "client"})
+	// Only the first of each phase is kept.
+	now = 900 * time.Millisecond
+	b.Publish(Event{Kind: KindClientDeliver, Node: "client"})
+
+	r := p.Report()
+	if !r.Complete {
+		t.Fatalf("report incomplete: %+v", r)
+	}
+	if r.Detection != 300*time.Millisecond {
+		t.Errorf("Detection = %v, want 300ms", r.Detection)
+	}
+	if r.Reconfiguration != 250*time.Millisecond {
+		t.Errorf("Reconfiguration = %v, want 250ms", r.Reconfiguration)
+	}
+	if r.ClientStall != 600*time.Millisecond {
+		t.Errorf("ClientStall = %v, want 600ms", r.ClientStall)
+	}
+}
+
+func TestSnapshotDiff(t *testing.T) {
+	prev := Snapshot{
+		Time: time.Second,
+		Hosts: []HostSnapshot{{
+			Name: "s0", Alive: true,
+			Frames: FrameCounters{Sent: 100, Received: 200},
+			Conns:  ConnCounters{BytesSent: 1000, Retransmits: 3},
+		}},
+		Links: []LinkSnapshot{{
+			A: "s0", B: "rd",
+			AB: LinkDirCounters{TxFrames: 100, Lost: 2},
+		}},
+		Redirectors: []RedirectorSnapshot{{
+			Name:  "rd",
+			Table: RedirectorCounters{Multicast: 10, MulticastCopies: 30},
+		}},
+	}
+	cur := Snapshot{
+		Time: 3 * time.Second,
+		Hosts: []HostSnapshot{{
+			Name: "s0", Alive: false,
+			Frames: FrameCounters{Sent: 150, Received: 260},
+			Conns:  ConnCounters{BytesSent: 1500, Retransmits: 7},
+		}},
+		Links: []LinkSnapshot{{
+			A: "s0", B: "rd",
+			AB: LinkDirCounters{TxFrames: 150, Lost: 5},
+		}},
+		Redirectors: []RedirectorSnapshot{{
+			Name:  "rd",
+			Table: RedirectorCounters{Multicast: 25, MulticastCopies: 75},
+		}},
+	}
+	d := cur.Diff(prev)
+	if d.Time != 2*time.Second {
+		t.Errorf("Time = %v", d.Time)
+	}
+	h := d.Hosts[0]
+	if h.Frames.Sent != 50 || h.Frames.Received != 60 {
+		t.Errorf("frames diff = %+v", h.Frames)
+	}
+	if h.Conns.BytesSent != 500 || h.Conns.Retransmits != 4 {
+		t.Errorf("conn diff = %+v", h.Conns)
+	}
+	if h.Alive {
+		t.Error("liveness must reflect the current snapshot")
+	}
+	l := d.Links[0]
+	if l.AB.TxFrames != 50 || l.AB.Lost != 3 {
+		t.Errorf("link diff = %+v", l.AB)
+	}
+	r := d.Redirectors[0]
+	if r.Table.Multicast != 15 || r.Table.MulticastCopies != 45 {
+		t.Errorf("redirector diff = %+v", r.Table)
+	}
+
+	// Entries absent from prev pass through unchanged.
+	cur.Hosts = append(cur.Hosts, HostSnapshot{Name: "s9", Frames: FrameCounters{Sent: 7}})
+	d = cur.Diff(prev)
+	if d.Hosts[1].Frames.Sent != 7 {
+		t.Errorf("new host not passed through: %+v", d.Hosts[1])
+	}
+}

@@ -1,0 +1,277 @@
+package obs
+
+import (
+	"encoding/json"
+	"time"
+
+	"hydranet/internal/metrics"
+)
+
+// Snapshot is a net-wide aggregation of every component counter at one
+// virtual instant: per-host fabric/IP/TCP/ft-TCP counters, per-link
+// per-direction counters, and per-redirector table plus management-daemon
+// counters. It is JSON-serializable; Diff produces interval rates.
+// The hydranet facade's Net.Snapshot() builds it.
+type Snapshot struct {
+	Time        time.Duration        `json:"time"`
+	Hosts       []HostSnapshot       `json:"hosts"`
+	Links       []LinkSnapshot       `json:"links"`
+	Redirectors []RedirectorSnapshot `json:"redirectors,omitempty"`
+	Failover    *FailoverReport      `json:"failover,omitempty"`
+}
+
+// FrameCounters are netsim node counters.
+type FrameCounters struct {
+	Sent     uint64 `json:"sent"`
+	Received uint64 `json:"received"`
+	Dropped  uint64 `json:"dropped"`
+}
+
+// IPCounters mirror ipv4.StackStats.
+type IPCounters struct {
+	Delivered   uint64 `json:"delivered"`
+	Forwarded   uint64 `json:"forwarded"`
+	Originated  uint64 `json:"originated"`
+	BadHeader   uint64 `json:"bad_header"`
+	NoRoute     uint64 `json:"no_route"`
+	TTLExceeded uint64 `json:"ttl_exceeded"`
+	NoProto     uint64 `json:"no_proto"`
+}
+
+// TCPCounters mirror tcp.StackStats plus the live-connection count.
+type TCPCounters struct {
+	SegsIn      uint64 `json:"segs_in"`
+	SegsOut     uint64 `json:"segs_out"`
+	BadSegments uint64 `json:"bad_segments"`
+	RSTsSent    uint64 `json:"rsts_sent"`
+	NoSocket    uint64 `json:"no_socket"`
+	Conns       int    `json:"conns"`
+}
+
+// ConnCounters are tcp.ConnStats totals summed over every connection the
+// stack has carried (live and closed).
+type ConnCounters struct {
+	SegsSent        uint64 `json:"segs_sent"`
+	SegsSuppressed  uint64 `json:"segs_suppressed"`
+	SegsReceived    uint64 `json:"segs_received"`
+	BytesSent       uint64 `json:"bytes_sent"`
+	BytesReceived   uint64 `json:"bytes_received"`
+	Retransmits     uint64 `json:"retransmits"`
+	RTOEvents       uint64 `json:"rto_events"`
+	FastRetransmits uint64 `json:"fast_retransmits"`
+	DupAcksSeen     uint64 `json:"dup_acks_seen"`
+	PeerRetransmits uint64 `json:"peer_retransmits"`
+}
+
+// ManagerCounters mirror core.Stats (the ft-TCP engine).
+type ManagerCounters struct {
+	ChainMsgsSent     uint64 `json:"chain_msgs_sent"`
+	ChainMsgsReceived uint64 `json:"chain_msgs_received"`
+	ChainMsgsBad      uint64 `json:"chain_msgs_bad"`
+	ChainMsgsOrphan   uint64 `json:"chain_msgs_orphan"`
+	Suspicions        uint64 `json:"suspicions"`
+	Promotions        uint64 `json:"promotions"`
+}
+
+// HostSnapshot aggregates one host's counters across every layer.
+type HostSnapshot struct {
+	Name    string                     `json:"name"`
+	Alive   bool                       `json:"alive"`
+	Frames  FrameCounters              `json:"frames"`
+	IP      IPCounters                 `json:"ip"`
+	TCP     TCPCounters                `json:"tcp"`
+	Conns   ConnCounters               `json:"conn_totals"`
+	RTT     *metrics.HistogramSnapshot `json:"rtt_ms,omitempty"`
+	Manager *ManagerCounters           `json:"manager,omitempty"`
+}
+
+// LinkDirCounters are one direction of a link (sending-side indexed).
+type LinkDirCounters struct {
+	TxFrames  uint64 `json:"tx_frames"`
+	Lost      uint64 `json:"lost"`
+	QueueDrop uint64 `json:"queue_drop"`
+}
+
+// LinkSnapshot captures one duplex link, named by its endpoints.
+type LinkSnapshot struct {
+	A  string          `json:"a"`
+	B  string          `json:"b"`
+	AB LinkDirCounters `json:"a_to_b"`
+	BA LinkDirCounters `json:"b_to_a"`
+}
+
+// RedirectorCounters mirror redirector.Stats.
+type RedirectorCounters struct {
+	Redirected      uint64 `json:"redirected"`
+	Multicast       uint64 `json:"multicast"`
+	MulticastCopies uint64 `json:"multicast_copies"`
+	PassedThrough   uint64 `json:"passed_through"`
+	TunnelErrors    uint64 `json:"tunnel_errors"`
+}
+
+// MgmtCounters mirror rmp.RedirectorDaemonStats.
+type MgmtCounters struct {
+	Registrations       uint64 `json:"registrations"`
+	Leaves              uint64 `json:"leaves"`
+	Suspicions          uint64 `json:"suspicions"`
+	ProbesSent          uint64 `json:"probes_sent"`
+	HostsFailed         uint64 `json:"hosts_failed"`
+	Reconfigs           uint64 `json:"reconfigs"`
+	CongestionEvictions uint64 `json:"congestion_evictions"`
+	LeaseExpirations    uint64 `json:"lease_expirations"`
+}
+
+// RedirectorSnapshot captures one redirector's table and (if running)
+// management-daemon counters.
+type RedirectorSnapshot struct {
+	Name  string             `json:"name"`
+	Table RedirectorCounters `json:"table"`
+	Mgmt  *MgmtCounters      `json:"mgmt,omitempty"`
+}
+
+// JSON renders the snapshot indented, for -stats-json files.
+func (s Snapshot) JSON() ([]byte, error) { return json.MarshalIndent(s, "", "  ") }
+
+// Diff returns the interval snapshot current − prev: every cumulative
+// counter becomes the amount accrued since prev was taken. Hosts, links and
+// redirectors are matched by name; entries with no match in prev pass
+// through unchanged. Liveness flags reflect the current snapshot.
+func (s Snapshot) Diff(prev Snapshot) Snapshot {
+	out := Snapshot{Time: s.Time - prev.Time, Failover: s.Failover}
+
+	prevHosts := make(map[string]HostSnapshot, len(prev.Hosts))
+	for _, h := range prev.Hosts {
+		prevHosts[h.Name] = h
+	}
+	for _, h := range s.Hosts {
+		p, ok := prevHosts[h.Name]
+		if !ok {
+			out.Hosts = append(out.Hosts, h)
+			continue
+		}
+		d := h
+		d.Frames = FrameCounters{
+			Sent:     h.Frames.Sent - p.Frames.Sent,
+			Received: h.Frames.Received - p.Frames.Received,
+			Dropped:  h.Frames.Dropped - p.Frames.Dropped,
+		}
+		d.IP = IPCounters{
+			Delivered:   h.IP.Delivered - p.IP.Delivered,
+			Forwarded:   h.IP.Forwarded - p.IP.Forwarded,
+			Originated:  h.IP.Originated - p.IP.Originated,
+			BadHeader:   h.IP.BadHeader - p.IP.BadHeader,
+			NoRoute:     h.IP.NoRoute - p.IP.NoRoute,
+			TTLExceeded: h.IP.TTLExceeded - p.IP.TTLExceeded,
+			NoProto:     h.IP.NoProto - p.IP.NoProto,
+		}
+		d.TCP = TCPCounters{
+			SegsIn:      h.TCP.SegsIn - p.TCP.SegsIn,
+			SegsOut:     h.TCP.SegsOut - p.TCP.SegsOut,
+			BadSegments: h.TCP.BadSegments - p.TCP.BadSegments,
+			RSTsSent:    h.TCP.RSTsSent - p.TCP.RSTsSent,
+			NoSocket:    h.TCP.NoSocket - p.TCP.NoSocket,
+			Conns:       h.TCP.Conns,
+		}
+		d.Conns = ConnCounters{
+			SegsSent:        h.Conns.SegsSent - p.Conns.SegsSent,
+			SegsSuppressed:  h.Conns.SegsSuppressed - p.Conns.SegsSuppressed,
+			SegsReceived:    h.Conns.SegsReceived - p.Conns.SegsReceived,
+			BytesSent:       h.Conns.BytesSent - p.Conns.BytesSent,
+			BytesReceived:   h.Conns.BytesReceived - p.Conns.BytesReceived,
+			Retransmits:     h.Conns.Retransmits - p.Conns.Retransmits,
+			RTOEvents:       h.Conns.RTOEvents - p.Conns.RTOEvents,
+			FastRetransmits: h.Conns.FastRetransmits - p.Conns.FastRetransmits,
+			DupAcksSeen:     h.Conns.DupAcksSeen - p.Conns.DupAcksSeen,
+			PeerRetransmits: h.Conns.PeerRetransmits - p.Conns.PeerRetransmits,
+		}
+		if h.RTT != nil {
+			var pr metrics.HistogramSnapshot
+			if p.RTT != nil {
+				pr = *p.RTT
+			}
+			dh := h.RTT.Diff(pr)
+			d.RTT = &dh
+		}
+		if h.Manager != nil {
+			var pm ManagerCounters
+			if p.Manager != nil {
+				pm = *p.Manager
+			}
+			d.Manager = &ManagerCounters{
+				ChainMsgsSent:     h.Manager.ChainMsgsSent - pm.ChainMsgsSent,
+				ChainMsgsReceived: h.Manager.ChainMsgsReceived - pm.ChainMsgsReceived,
+				ChainMsgsBad:      h.Manager.ChainMsgsBad - pm.ChainMsgsBad,
+				ChainMsgsOrphan:   h.Manager.ChainMsgsOrphan - pm.ChainMsgsOrphan,
+				Suspicions:        h.Manager.Suspicions - pm.Suspicions,
+				Promotions:        h.Manager.Promotions - pm.Promotions,
+			}
+		}
+		out.Hosts = append(out.Hosts, d)
+	}
+
+	type linkKey struct{ a, b string }
+	prevLinks := make(map[linkKey]LinkSnapshot, len(prev.Links))
+	for _, l := range prev.Links {
+		prevLinks[linkKey{l.A, l.B}] = l
+	}
+	for _, l := range s.Links {
+		p, ok := prevLinks[linkKey{l.A, l.B}]
+		if !ok {
+			out.Links = append(out.Links, l)
+			continue
+		}
+		out.Links = append(out.Links, LinkSnapshot{
+			A: l.A, B: l.B,
+			AB: LinkDirCounters{
+				TxFrames:  l.AB.TxFrames - p.AB.TxFrames,
+				Lost:      l.AB.Lost - p.AB.Lost,
+				QueueDrop: l.AB.QueueDrop - p.AB.QueueDrop,
+			},
+			BA: LinkDirCounters{
+				TxFrames:  l.BA.TxFrames - p.BA.TxFrames,
+				Lost:      l.BA.Lost - p.BA.Lost,
+				QueueDrop: l.BA.QueueDrop - p.BA.QueueDrop,
+			},
+		})
+	}
+
+	prevRds := make(map[string]RedirectorSnapshot, len(prev.Redirectors))
+	for _, r := range prev.Redirectors {
+		prevRds[r.Name] = r
+	}
+	for _, r := range s.Redirectors {
+		p, ok := prevRds[r.Name]
+		if !ok {
+			out.Redirectors = append(out.Redirectors, r)
+			continue
+		}
+		d := RedirectorSnapshot{
+			Name: r.Name,
+			Table: RedirectorCounters{
+				Redirected:      r.Table.Redirected - p.Table.Redirected,
+				Multicast:       r.Table.Multicast - p.Table.Multicast,
+				MulticastCopies: r.Table.MulticastCopies - p.Table.MulticastCopies,
+				PassedThrough:   r.Table.PassedThrough - p.Table.PassedThrough,
+				TunnelErrors:    r.Table.TunnelErrors - p.Table.TunnelErrors,
+			},
+		}
+		if r.Mgmt != nil {
+			var pm MgmtCounters
+			if p.Mgmt != nil {
+				pm = *p.Mgmt
+			}
+			d.Mgmt = &MgmtCounters{
+				Registrations:       r.Mgmt.Registrations - pm.Registrations,
+				Leaves:              r.Mgmt.Leaves - pm.Leaves,
+				Suspicions:          r.Mgmt.Suspicions - pm.Suspicions,
+				ProbesSent:          r.Mgmt.ProbesSent - pm.ProbesSent,
+				HostsFailed:         r.Mgmt.HostsFailed - pm.HostsFailed,
+				Reconfigs:           r.Mgmt.Reconfigs - pm.Reconfigs,
+				CongestionEvictions: r.Mgmt.CongestionEvictions - pm.CongestionEvictions,
+				LeaseExpirations:    r.Mgmt.LeaseExpirations - pm.LeaseExpirations,
+			}
+		}
+		out.Redirectors = append(out.Redirectors, d)
+	}
+	return out
+}

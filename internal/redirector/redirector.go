@@ -14,6 +14,7 @@ import (
 	"sort"
 
 	"hydranet/internal/ipv4"
+	"hydranet/internal/obs"
 )
 
 // ServiceKey identifies a redirected transport-level service access point.
@@ -68,6 +69,7 @@ type Redirector struct {
 	ip    *ipv4.Stack
 	table map[ServiceKey]*Entry
 	stats Stats
+	bus   *obs.Bus
 }
 
 // New installs a redirector on the given stack. The stack must have
@@ -83,6 +85,12 @@ func (r *Redirector) IP() *ipv4.Stack { return r.ip }
 
 // Stats returns a snapshot of activity counters.
 func (r *Redirector) Stats() Stats { return r.stats }
+
+// SetBus attaches an observability event bus for multicast, redirect and
+// tunnel-error events. A nil bus (the default) disables all emission.
+func (r *Redirector) SetBus(b *obs.Bus) { r.bus = b }
+
+func (r *Redirector) nodeName() string { return r.ip.Node().Name() }
 
 // Install adds or replaces a table entry.
 func (r *Redirector) Install(key ServiceKey, e *Entry) {
@@ -201,7 +209,15 @@ func (r *Redirector) intercept(p *ipv4.Packet) bool {
 	}
 	if e.FT {
 		r.stats.Multicast++
-		for _, host := range e.replicas() {
+		replicas := e.replicas()
+		if b := r.bus; b.Enabled(obs.KindMulticast) {
+			b.Publish(obs.Event{
+				Kind: obs.KindMulticast, Node: r.nodeName(),
+				Service: ServiceKey{Addr: p.Dst, Port: dstPort}.String(),
+				Size:    len(replicas),
+			})
+		}
+		for _, host := range replicas {
 			r.tunnel(p, host)
 			r.stats.MulticastCopies++
 		}
@@ -209,6 +225,13 @@ func (r *Redirector) intercept(p *ipv4.Packet) bool {
 	}
 	if t := nearest(e.Targets); t != nil {
 		r.stats.Redirected++
+		if b := r.bus; b.Enabled(obs.KindRedirect) {
+			b.Publish(obs.Event{
+				Kind: obs.KindRedirect, Node: r.nodeName(),
+				Service: ServiceKey{Addr: p.Dst, Port: dstPort}.String(),
+				Detail:  "→" + t.Host.String(),
+			})
+		}
 		r.tunnel(p, t.Host)
 		return true
 	}
@@ -230,7 +253,7 @@ func nearest(targets []Target) *Target {
 func (r *Redirector) tunnel(inner *ipv4.Packet, host ipv4.Addr) {
 	body, err := inner.Marshal()
 	if err != nil {
-		r.stats.TunnelErrors++
+		r.noteTunnelError(host, err.Error())
 		return
 	}
 	outer := &ipv4.Packet{
@@ -246,6 +269,16 @@ func (r *Redirector) tunnel(inner *ipv4.Packet, host ipv4.Addr) {
 		outer.Src = r.ip.Addr(ifindex)
 	}
 	if err := r.ip.SendPacket(outer); err != nil {
-		r.stats.TunnelErrors++
+		r.noteTunnelError(host, err.Error())
+	}
+}
+
+func (r *Redirector) noteTunnelError(host ipv4.Addr, why string) {
+	r.stats.TunnelErrors++
+	if b := r.bus; b.Enabled(obs.KindTunnelError) {
+		b.Publish(obs.Event{
+			Kind: obs.KindTunnelError, Node: r.nodeName(),
+			Detail: "→" + host.String() + ": " + why,
+		})
 	}
 }

@@ -6,6 +6,7 @@ import (
 
 	"hydranet/internal/core"
 	"hydranet/internal/ipv4"
+	"hydranet/internal/obs"
 	"hydranet/internal/redirector"
 	"hydranet/internal/sim"
 	"hydranet/internal/udp"
@@ -40,6 +41,8 @@ type RedirectorDaemon struct {
 	leaseExpiry time.Duration
 	leaseSweep  *sim.Timer
 	stats       RedirectorDaemonStats
+	bus         *obs.Bus
+	node        string
 
 	// onReconfig, if set, observes completed reconfigurations (testing and
 	// measurement).
@@ -92,6 +95,25 @@ func NewRedirectorDaemon(udpStack *udp.Stack, sched *sim.Scheduler,
 // Stats returns a snapshot of the daemon counters.
 func (d *RedirectorDaemon) Stats() RedirectorDaemonStats { return d.stats }
 
+// SetBus attaches an observability event bus for registration and
+// reconfiguration events. node names the redirector in the events (the
+// daemon itself has no handle on the fabric). A nil bus disables emission.
+func (d *RedirectorDaemon) SetBus(b *obs.Bus, node string) {
+	d.bus = b
+	d.node = node
+}
+
+// noteReconfig publishes a chain-change event; cause says why and hosts are
+// the members that left the chain.
+func (d *RedirectorDaemon) noteReconfig(svc core.ServiceID, cause string, hosts []ipv4.Addr) {
+	if b := d.bus; b.Enabled(obs.KindReconfig) {
+		b.Publish(obs.Event{
+			Kind: obs.KindReconfig, Node: d.node, Service: svc.String(),
+			Detail: fmt.Sprintf("%s %v", cause, hosts),
+		})
+	}
+}
+
 // AddPeer registers a peer redirector that should mirror this daemon's
 // fault-tolerant table entries, so clients behind it reach the same replica
 // sets (paper Figure 1: hosts "accessible to all clients through at least
@@ -141,6 +163,7 @@ func (d *RedirectorDaemon) sweepLeases() {
 			delete(s.lastSeen, host)
 		}
 		d.applyChain(svc, s)
+		d.noteReconfig(svc, "lease-expired", expired)
 		if d.onReconfig != nil {
 			d.onReconfig(svc, expired)
 		}
@@ -201,6 +224,13 @@ func (d *RedirectorDaemon) register(msg *Message) {
 		}
 	}
 	d.stats.Registrations++
+	if b := d.bus; b.Enabled(obs.KindRegistration) {
+		b.Publish(obs.Event{
+			Kind: obs.KindRegistration, Node: d.node,
+			Service: msg.Service.String(),
+			Detail:  fmt.Sprintf("%s as %s", msg.Host, msg.Mode),
+		})
+	}
 	if msg.Mode == core.ModePrimary {
 		s.chain = append([]ipv4.Addr{msg.Host}, s.chain...)
 	} else {
@@ -224,6 +254,7 @@ func (d *RedirectorDaemon) leave(msg *Message) {
 	}
 	d.stats.Leaves++
 	d.applyChain(msg.Service, s)
+	d.noteReconfig(msg.Service, "leave", []ipv4.Addr{msg.Host})
 }
 
 // suspect runs the failure-identification procedure: probe every chain
@@ -289,6 +320,7 @@ func (d *RedirectorDaemon) finishProbe(svc core.ServiceID, s *svcState,
 				d.stats.CongestionEvictions++
 				removeHost(&s.chain, tail)
 				d.applyChain(svc, s)
+				d.noteReconfig(svc, "congestion-evicted", []ipv4.Addr{tail})
 				if d.onReconfig != nil {
 					d.onReconfig(svc, []ipv4.Addr{tail})
 				}
@@ -301,6 +333,7 @@ func (d *RedirectorDaemon) finishProbe(svc core.ServiceID, s *svcState,
 		removeHost(&s.chain, host)
 	}
 	d.applyChain(svc, s)
+	d.noteReconfig(svc, "failed", failed)
 	if d.onReconfig != nil {
 		d.onReconfig(svc, failed)
 	}

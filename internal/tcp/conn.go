@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"hydranet/internal/ipv4"
+	"hydranet/internal/obs"
 	"hydranet/internal/sim"
 )
 
@@ -109,6 +110,20 @@ type ConnStats struct {
 	FastRetransmits uint64
 	DupAcksSeen     uint64
 	PeerRetransmits uint64 // retransmissions observed from the peer
+}
+
+// accumulate folds o into the receiver (stack-level totals).
+func (s *ConnStats) accumulate(o ConnStats) {
+	s.SegsSent += o.SegsSent
+	s.SegsSuppressed += o.SegsSuppressed
+	s.SegsReceived += o.SegsReceived
+	s.BytesSent += o.BytesSent
+	s.BytesReceived += o.BytesReceived
+	s.Retransmits += o.Retransmits
+	s.RTOEvents += o.RTOEvents
+	s.FastRetransmits += o.FastRetransmits
+	s.DupAcksSeen += o.DupAcksSeen
+	s.PeerRetransmits += o.PeerRetransmits
 }
 
 // Conn is one TCP endpoint.
@@ -510,7 +525,7 @@ func (c *Conn) output() {
 		if fresh {
 			c.stats.BytesSent += uint64(len(chunk))
 		} else {
-			c.stats.Retransmits++
+			c.noteRetransmit(c.sndNxt)
 		}
 		if !c.rttPending && fresh {
 			// Karn: never sample a chunk that overlaps retransmitted data.
@@ -674,6 +689,13 @@ func (c *Conn) onRetransmitTimeout() {
 	}
 	c.rtxCount++
 	c.stats.RTOEvents++
+	if b := c.stack.bus; b.Enabled(obs.KindRTO) {
+		b.Publish(obs.Event{
+			Kind: obs.KindRTO, Node: c.stack.nodeName(),
+			Conn: c.remote.String(), Seq: uint64(c.sndUna),
+			Detail: fmt.Sprintf("attempt %d", c.rtxCount),
+		})
+	}
 	if c.rtxCount > c.stack.cfg.MaxRetries {
 		c.terminate(ErrTimeout)
 		return
@@ -717,7 +739,7 @@ func (c *Conn) retransmitOne() {
 		if c.finSent && c.sndUna.Add(len(chunk)).Add(1) == c.sndNxt {
 			flags |= FlagFIN
 		}
-		c.stats.Retransmits++
+		c.noteRetransmit(c.sndUna)
 		c.sendSegment(&Segment{
 			Flags: flags, Seq: c.sndUna, Ack: c.rcv.rcvNxt,
 			Window: c.windowField(), Payload: chunk,
@@ -725,9 +747,21 @@ func (c *Conn) retransmitOne() {
 		return
 	}
 	if c.finSent && c.sndUna.Add(1) == c.sndNxt {
-		c.stats.Retransmits++
+		c.noteRetransmit(c.sndUna)
 		c.sendSegment(&Segment{
 			Flags: FlagFIN | FlagACK, Seq: c.sndUna, Ack: c.rcv.rcvNxt, Window: c.windowField(),
+		})
+	}
+}
+
+// noteRetransmit counts a data retransmission from seq and publishes it on
+// the observability bus.
+func (c *Conn) noteRetransmit(seq Seq) {
+	c.stats.Retransmits++
+	if b := c.stack.bus; b.Enabled(obs.KindRetransmit) {
+		b.Publish(obs.Event{
+			Kind: obs.KindRetransmit, Node: c.stack.nodeName(),
+			Conn: c.remote.String(), Seq: uint64(seq),
 		})
 	}
 }

@@ -1,5 +1,11 @@
 package tcp
 
+import (
+	"time"
+
+	"hydranet/internal/obs"
+)
+
 // input processes one received segment. It is the RFC 793 segment-arrival
 // event, simplified: no urgent data, no simultaneous open, no window
 // scaling.
@@ -165,7 +171,9 @@ func (c *Conn) processAck(seg *Segment) {
 		c.rtxCount = 0
 		// RTT sampling (Karn-guarded: rttPending is cleared on timeout).
 		if c.rttPending && ack.GEQ(c.rttSeq) {
-			c.rto.sample(c.stack.sched.Now() - c.rttAt)
+			d := c.stack.sched.Now() - c.rttAt
+			c.rto.sample(d)
+			c.stack.rttHist.Observe(float64(d) / float64(time.Millisecond))
 			c.rttPending = false
 		}
 		if c.inFastRecovery {
@@ -218,6 +226,12 @@ func (c *Conn) processAck(seg *Segment) {
 				c.recover = c.sndNxt
 				c.inFastRecovery = true
 				c.stats.FastRetransmits++
+				if b := c.stack.bus; b.Enabled(obs.KindFastRetransmit) {
+					b.Publish(obs.Event{
+						Kind: obs.KindFastRetransmit, Node: c.stack.nodeName(),
+						Conn: c.remote.String(), Seq: uint64(c.sndUna),
+					})
+				}
 				c.retransmitOne()
 				c.cwnd = c.ssthresh + 3*c.mss
 			case c.inFastRecovery:

@@ -6,6 +6,8 @@ import (
 	"time"
 
 	"hydranet/internal/ipv4"
+	"hydranet/internal/metrics"
+	"hydranet/internal/obs"
 	"hydranet/internal/sim"
 )
 
@@ -124,6 +126,14 @@ type Stack struct {
 	ephemeral uint16
 	stats     StackStats
 	trace     TraceFunc
+	bus       *obs.Bus
+
+	// rttHist accumulates smoothed-round-trip samples (milliseconds) from
+	// every connection's Karn-guarded RTT measurements.
+	rttHist metrics.Histogram
+	// closedTotals accumulates the ConnStats of connections that have been
+	// torn down, so ConnTotals covers the stack's whole history.
+	closedTotals ConnStats
 }
 
 var _ ipv4.ProtocolHandler = (*Stack)(nil)
@@ -156,6 +166,29 @@ func (s *Stack) Stats() StackStats { return s.stats }
 
 // SetTrace installs a segment observer (tests, debugging).
 func (s *Stack) SetTrace(fn TraceFunc) { s.trace = fn }
+
+// SetBus attaches an observability event bus; the stack emits retransmit,
+// RTO and fast-retransmit events on it. A nil bus disables emission.
+func (s *Stack) SetBus(b *obs.Bus) { s.bus = b }
+
+// Bus returns the attached event bus (nil when none).
+func (s *Stack) Bus() *obs.Bus { return s.bus }
+
+// nodeName labels events with the owning node.
+func (s *Stack) nodeName() string { return s.ip.Node().Name() }
+
+// RTTHistogram exposes the stack-wide RTT sample histogram (milliseconds).
+func (s *Stack) RTTHistogram() *metrics.Histogram { return &s.rttHist }
+
+// ConnTotals sums per-connection counters over every connection the stack
+// has carried: live ones plus the accumulated totals of closed ones.
+func (s *Stack) ConnTotals() ConnStats {
+	t := s.closedTotals
+	for _, c := range s.conns {
+		t.accumulate(c.stats)
+	}
+	return t
+}
 
 // NumConns returns the number of live connections.
 func (s *Stack) NumConns() int { return len(s.conns) }
@@ -298,6 +331,9 @@ func (s *Stack) transmit(local, remote Endpoint, seg *Segment) {
 }
 
 func (s *Stack) removeConn(c *Conn) {
+	// removeConn runs exactly once per connection (from terminate), so the
+	// connection's counters move into the closed totals exactly once.
+	s.closedTotals.accumulate(c.stats)
 	delete(s.conns, connKey{local: c.local, remote: c.remote})
 }
 

@@ -10,17 +10,19 @@ import (
 	"sync"
 	"time"
 
+	"hydranet/internal/obs"
 	"hydranet/internal/sim"
 	"hydranet/internal/tcp"
 )
 
 // Tracer writes one line per observed event.
 type Tracer struct {
-	mu    sync.Mutex
-	w     io.Writer
-	sched *sim.Scheduler
-	count uint64
-	limit uint64 // 0 = unlimited
+	mu      sync.Mutex
+	w       io.Writer
+	sched   *sim.Scheduler
+	count   uint64
+	limit   uint64 // 0 = unlimited
+	dropped uint64 // lines suppressed by the limit
 }
 
 // New creates a tracer writing to w with timestamps from sched.
@@ -29,8 +31,13 @@ func New(w io.Writer, sched *sim.Scheduler) *Tracer {
 }
 
 // SetLimit caps the number of emitted lines (0 = unlimited); further events
-// are dropped silently. Useful to keep traces of long runs readable.
-func (t *Tracer) SetLimit(n uint64) { t.limit = n }
+// are dropped and counted (see Dropped). Useful to keep traces of long runs
+// readable.
+func (t *Tracer) SetLimit(n uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.limit = n
+}
 
 // Count returns the number of lines emitted so far.
 func (t *Tracer) Count() uint64 {
@@ -39,11 +46,19 @@ func (t *Tracer) Count() uint64 {
 	return t.count
 }
 
+// Dropped returns the number of lines suppressed by the limit.
+func (t *Tracer) Dropped() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
 // Emit writes one formatted trace line.
 func (t *Tracer) Emit(host, format string, args ...any) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if t.limit > 0 && t.count >= t.limit {
+		t.dropped++
 		return
 	}
 	t.count++
@@ -68,4 +83,13 @@ func (t *Tracer) TCPFunc(host string) tcp.TraceFunc {
 // AttachTCP wires the tracer to a TCP stack.
 func (t *Tracer) AttachTCP(host string, st *tcp.Stack) {
 	st.SetTrace(t.TCPFunc(host))
+}
+
+// AttachBus subscribes the tracer to an observability bus, rendering each
+// event as a trace line. With no kinds the tracer sees every event; the
+// tracer is then just one bus subscriber among many.
+func (t *Tracer) AttachBus(b *obs.Bus, kinds ...obs.Kind) {
+	b.Subscribe(func(e obs.Event) {
+		t.Emit(e.Node, "%s", e.Text())
+	}, kinds...)
 }

@@ -1,12 +1,15 @@
 package trace
 
 import (
+	"io"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
 	"hydranet/internal/ipv4"
 	"hydranet/internal/netsim"
+	"hydranet/internal/obs"
 	"hydranet/internal/sim"
 	"hydranet/internal/tcp"
 )
@@ -62,5 +65,54 @@ func TestTracerLimit(t *testing.T) {
 	}
 	if got := strings.Count(out.String(), "\n"); got != 3 {
 		t.Fatalf("emitted %d lines, want 3", got)
+	}
+	if tr.Dropped() != 7 {
+		t.Fatalf("Dropped = %d, want 7", tr.Dropped())
+	}
+}
+
+// TestTracerSetLimitConcurrent exercises SetLimit racing with Emit; run
+// under -race it verifies the limit is mutex-protected.
+func TestTracerSetLimitConcurrent(t *testing.T) {
+	sched := sim.NewScheduler(1)
+	tr := New(io.Discard, sched)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(2)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				tr.SetLimit(uint64(g*200 + i))
+			}
+		}(g)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				tr.Emit("x", "line %d", i)
+			}
+		}()
+	}
+	wg.Wait()
+	if tr.Count()+tr.Dropped() != 4*200 {
+		t.Fatalf("Count+Dropped = %d, want %d", tr.Count()+tr.Dropped(), 4*200)
+	}
+}
+
+func TestTracerAttachBus(t *testing.T) {
+	sched := sim.NewScheduler(1)
+	var out strings.Builder
+	tr := New(&out, sched)
+	bus := obs.NewBus(sched.Now)
+	tr.AttachBus(bus, obs.KindPromotion)
+
+	bus.Publish(obs.Event{Kind: obs.KindPromotion, Node: "s1", Service: "10.0.0.1:80"})
+	bus.Publish(obs.Event{Kind: obs.KindRetransmit, Node: "s1"}) // not subscribed
+
+	text := out.String()
+	if !strings.Contains(text, "promotion") || !strings.Contains(text, "s1") {
+		t.Fatalf("bus event not rendered: %q", text)
+	}
+	if strings.Contains(text, "retransmit") {
+		t.Fatalf("unsubscribed kind rendered: %q", text)
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"hydranet/internal/core"
+	"hydranet/internal/obs"
 	"hydranet/internal/rmp"
 	"hydranet/internal/udp"
 )
@@ -171,6 +172,11 @@ func (s *FTService) Recommission(h *Host) error {
 	rep.Port = h.Daemon(s.rd).RegisterFT(s.svc, ModeBackup, s.opts.Detector, listener)
 	if s.opts.Heartbeat > 0 {
 		h.Daemon(s.rd).StartHeartbeats(s.svc, s.opts.Heartbeat)
+	}
+	if b := h.net.bus; b.Enabled(obs.KindRecommission) {
+		b.Publish(obs.Event{
+			Kind: obs.KindRecommission, Node: h.name, Service: s.svc.String(),
+		})
 	}
 	return nil
 }
