@@ -11,9 +11,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"text/tabwriter"
 	"time"
 
+	"hydranet/internal/sweep"
 	"hydranet/internal/testbed"
 )
 
@@ -32,18 +34,19 @@ func main() {
 	seed := flag.Int64("seed", 1, "simulation seed")
 	loss := flag.Float64("loss", 0, "link loss probability (for false-positive measurement)")
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON instead of the table")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "worker threads (each threshold is an independent simulation)")
 	flag.Parse()
 
-	var rows []row
-	for _, threshold := range []int{1, 2, 3, 4, 6, 8} {
+	thresholds := []int{1, 2, 3, 4, 6, 8}
+	rows := sweep.Map(*parallel, len(thresholds), func(i int) row {
 		res := testbed.MeasureFailover(testbed.FailoverConfig{
-			Threshold: threshold,
+			Threshold: thresholds[i],
 			Backups:   *backups,
 			Seed:      *seed,
 			Loss:      *loss,
 		})
 		r := row{
-			Threshold:      threshold,
+			Threshold:      thresholds[i],
 			DetectMS:       res.Detected.Seconds() * 1000,
 			ResumeMS:       res.Resumed.Seconds() * 1000,
 			Suspicions:     res.Suspicions,
@@ -52,8 +55,8 @@ func main() {
 		if res.ClientError != nil {
 			r.ClientError = res.ClientError.Error()
 		}
-		rows = append(rows, r)
-	}
+		return r
+	})
 
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)

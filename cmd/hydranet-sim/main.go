@@ -64,6 +64,7 @@ func main() {
 	verbose := flag.Bool("v", false, "narrate management events (registration, reconfiguration, promotion)")
 	events := flag.String("events", "", "stream bus events of these kinds (comma-separated, \"all\", or \"list\")")
 	stats := flag.Bool("stats", false, "print net-wide statistics at the end")
+	perf := flag.Bool("perf", false, "report simulator performance (events/sec, frames/sec, wall time)")
 	statsJSON := flag.String("stats-json", "", "write the final snapshot as JSON to this file (\"-\" = stdout)")
 	traceSegs := flag.Int("trace", 0, "emit up to N tcpdump-style segment trace lines")
 	flag.Parse()
@@ -130,6 +131,7 @@ func main() {
 		os.Exit(1)
 	}
 	logf("deployed %s across %d replicas", svc, *replicas)
+	wallStart := time.Now()
 	net.Settle()
 	logf("chain established: %v (primary first)", ftsvc.Chain())
 
@@ -217,9 +219,24 @@ func main() {
 		fmt.Printf("  client stall     %v  (complete: %v)\n", report.ClientStall, report.Complete)
 	}
 
+	wall := time.Since(wallStart)
+
 	snap := net.Snapshot()
 	if report.CrashAt > 0 {
 		snap.Failover = &report
+	}
+	if *perf {
+		events := net.Scheduler().Fired()
+		var frames uint64
+		for _, h := range snap.Hosts {
+			frames += h.Frames.Sent
+		}
+		fmt.Printf("\nsimulator performance: %d events, %d frames in %v",
+			events, frames, wall.Round(time.Microsecond))
+		if s := wall.Seconds(); s > 0 {
+			fmt.Printf(" (%.0f events/sec, %.0f frames/sec)", float64(events)/s, float64(frames)/s)
+		}
+		fmt.Println()
 	}
 	if *stats {
 		printSnapshot(snap)

@@ -2,47 +2,129 @@
 // against write size for the four testbed configurations (clean kernel, no
 // redirection, primary only, primary and backup). With -repeat > 1 each
 // point is averaged over several seeds and reported as mean ± std.
+//
+// Runs fan out across -parallel workers: every run owns its own scheduler,
+// so results are bit-identical regardless of worker count. -json writes a
+// machine-readable benchmark record (BENCH_core.json) with events/sec,
+// frames/sec and wall time per measurement point, so the simulator's own
+// performance is tracked alongside the figures it reproduces.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"os"
+	"runtime"
+	"time"
 
 	"hydranet/internal/metrics"
+	"hydranet/internal/sweep"
 	"hydranet/internal/testbed"
 )
+
+type job struct {
+	size int
+	c    testbed.Case
+	rep  int
+}
+
+type jobResult struct {
+	kbps   float64
+	err    error
+	info   testbed.RunInfo
+	allocs uint64 // heap allocations during the run; valid only when serial
+}
+
+type benchEntry struct {
+	Case           string  `json:"case"`
+	BufLen         int     `json:"buf_len"`
+	ThroughputKBps float64 `json:"throughput_kbps"`
+	Events         uint64  `json:"events"`
+	Frames         uint64  `json:"frames"`
+	WallMS         float64 `json:"wall_ms"`
+	EventsPerSec   float64 `json:"events_per_sec"`
+	FramesPerSec   float64 `json:"frames_per_sec"`
+	AllocsPerEvent float64 `json:"allocs_per_event,omitempty"`
+}
+
+type benchFile struct {
+	Description string       `json:"description"`
+	TotalBytes  int          `json:"total_bytes"`
+	Seed        int64        `json:"seed"`
+	Parallel    int          `json:"parallel"`
+	GoMaxProcs  int          `json:"gomaxprocs"`
+	WallMS      float64      `json:"total_wall_ms"`
+	Entries     []benchEntry `json:"entries"`
+}
 
 func main() {
 	total := flag.Int("bytes", 512*1024, "bytes transferred per measurement point")
 	seed := flag.Int64("seed", 1, "base simulation seed")
 	backups := flag.Int("backups", 1, "backup replicas in the primary-and-backup case")
 	repeat := flag.Int("repeat", 1, "seeds per point (mean ± std when > 1)")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "worker threads (1 = serial; also enables allocs/op in -json)")
+	jsonPath := flag.String("json", "", "write machine-readable results to this file")
 	flag.Parse()
 
 	fmt.Printf("ttcp throughput measurements for HydraNet-FT (Figure 4)\n")
-	fmt.Printf("transfer volume %d bytes per point, %d run(s) per point, base seed %d\n\n",
-		*total, *repeat, *seed)
+	fmt.Printf("transfer volume %d bytes per point, %d run(s) per point, base seed %d, %d worker(s)\n\n",
+		*total, *repeat, *seed, *parallel)
+
+	var jobs []job
+	for _, size := range testbed.Figure4Sizes {
+		for _, c := range testbed.Figure4Cases {
+			for r := 0; r < *repeat; r++ {
+				jobs = append(jobs, job{size: size, c: c, rep: r})
+			}
+		}
+	}
+
+	serial := *parallel == 1
+	start := time.Now()
+	results := sweep.Map(*parallel, len(jobs), func(i int) jobResult {
+		j := jobs[i]
+		var before runtime.MemStats
+		if serial {
+			runtime.ReadMemStats(&before)
+		}
+		res, info := testbed.RunMeasured(testbed.Config{
+			Case: j.c, BufLen: j.size, TotalBytes: *total,
+			Seed: *seed + int64(j.rep), Backups: *backups,
+		})
+		out := jobResult{kbps: res.ThroughputKBps(), err: res.Err, info: info}
+		if serial {
+			var after runtime.MemStats
+			runtime.ReadMemStats(&after)
+			out.allocs = after.Mallocs - before.Mallocs
+		}
+		return out
+	})
+	wall := time.Since(start)
+
+	byKey := make(map[job]jobResult, len(results))
+	for i, r := range results {
+		byKey[jobs[i]] = r
+	}
 
 	header := []string{"packet size [B]"}
 	for _, c := range testbed.Figure4Cases {
 		header = append(header, c.String())
 	}
 	table := metrics.NewTable(header...)
+	var entries []benchEntry
 	for _, size := range testbed.Figure4Sizes {
 		row := []string{fmt.Sprintf("%d", size)}
 		for _, c := range testbed.Figure4Cases {
 			var sum metrics.Summary
 			failed := false
 			for r := 0; r < *repeat; r++ {
-				res := testbed.Run(testbed.Config{
-					Case: c, BufLen: size, TotalBytes: *total,
-					Seed: *seed + int64(r), Backups: *backups,
-				})
-				if res.Err != nil {
+				jr := byKey[job{size: size, c: c, rep: r}]
+				if jr.err != nil {
 					failed = true
 					break
 				}
-				sum.Add(res.ThroughputKBps())
+				sum.Add(jr.kbps)
 			}
 			if failed {
 				row = append(row, "ERR")
@@ -53,9 +135,50 @@ func main() {
 			} else {
 				row = append(row, fmt.Sprintf("%.0f", sum.Mean()))
 			}
+			jr := byKey[job{size: size, c: c, rep: 0}]
+			e := benchEntry{
+				Case:           c.String(),
+				BufLen:         size,
+				ThroughputKBps: sum.Mean(),
+				Events:         jr.info.Events,
+				Frames:         jr.info.Frames,
+				WallMS:         float64(jr.info.Wall.Microseconds()) / 1000,
+			}
+			if s := jr.info.Wall.Seconds(); s > 0 {
+				e.EventsPerSec = float64(jr.info.Events) / s
+				e.FramesPerSec = float64(jr.info.Frames) / s
+			}
+			if serial && jr.info.Events > 0 {
+				e.AllocsPerEvent = float64(jr.allocs) / float64(jr.info.Events)
+			}
+			entries = append(entries, e)
 		}
 		table.AddRow(row...)
 	}
 	fmt.Print(table)
 	fmt.Println("\nthroughput in kBytes/sec; rows correspond to the paper's x-axis")
+	fmt.Printf("swept %d runs in %v\n", len(jobs), wall.Round(time.Millisecond))
+
+	if *jsonPath != "" {
+		bf := benchFile{
+			Description: "HydraNet-FT simulator core performance per Figure-4 case",
+			TotalBytes:  *total,
+			Seed:        *seed,
+			Parallel:    *parallel,
+			GoMaxProcs:  runtime.GOMAXPROCS(0),
+			WallMS:      float64(wall.Microseconds()) / 1000,
+			Entries:     entries,
+		}
+		data, err := json.MarshalIndent(bf, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ttcpbench:", err)
+			os.Exit(1)
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(*jsonPath, data, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "ttcpbench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *jsonPath)
+	}
 }

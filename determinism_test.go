@@ -1,17 +1,28 @@
 package hydranet
 
 import (
+	"bytes"
 	"fmt"
+	"io"
 	"testing"
 	"time"
 
 	"hydranet/internal/app"
+	"hydranet/internal/trace"
 )
 
+// scenarioOpts tweaks runScenario without changing the simulated workload.
+type scenarioOpts struct {
+	poison   bool      // enable frame-pool poisoning
+	traceOut io.Writer // tcpdump-style segment trace destination (nil = none)
+}
+
 // runScenario executes a fixed FT scenario (lossy links, mid-stream primary
-// crash) and returns a fingerprint of everything observable.
-func runScenario(seed int64) string {
+// crash) and returns a fingerprint of everything observable, including the
+// full snapshot JSON.
+func runScenario(seed int64, opts scenarioOpts) string {
 	net := New(Config{Seed: seed})
+	net.PoisonFrames(opts.poison)
 	client := net.AddHost("client", HostConfig{})
 	rd := net.AddRedirector("rd", HostConfig{})
 	var replicas []*Host
@@ -23,6 +34,13 @@ func runScenario(seed int64) string {
 		net.Link(h, rd.Host, link)
 	}
 	net.AutoRoute()
+	if opts.traceOut != nil {
+		tr := trace.New(opts.traceOut, net.Scheduler())
+		tr.AttachTCP("client", client.TCP())
+		for _, h := range replicas {
+			tr.AttachTCP(h.Name(), h.TCP())
+		}
+	}
 	svc, err := net.DeployFT(testSvc, rd, replicas, FTOptions{},
 		func(c *Conn) { app.Echo(c) })
 	if err != nil {
@@ -50,7 +68,11 @@ func runScenario(seed int64) string {
 	for _, h := range replicas {
 		fp += fmt.Sprintf(" %s=%+v", h.Name(), h.FTManager().Stats())
 	}
-	return fp
+	snap, err := net.Snapshot().JSON()
+	if err != nil {
+		panic(err)
+	}
+	return fp + "\n" + string(snap)
 }
 
 // TestWholeRunDeterminism: a complete FT scenario — loss, retransmissions,
@@ -58,13 +80,33 @@ func runScenario(seed int64) string {
 // This is the property that makes every experiment in EXPERIMENTS.md
 // reproducible bit for bit.
 func TestWholeRunDeterminism(t *testing.T) {
-	a := runScenario(77)
-	b := runScenario(77)
+	a := runScenario(77, scenarioOpts{})
+	b := runScenario(77, scenarioOpts{})
 	if a != b {
 		t.Fatalf("same seed diverged:\n  run1: %s\n  run2: %s", a, b)
 	}
-	c := runScenario(78)
+	c := runScenario(78, scenarioOpts{})
 	if a == c {
 		t.Fatal("different seeds produced identical fingerprints — randomness inert")
+	}
+}
+
+// TestPoolingDeterminism: frame-buffer pooling is invisible. With poisoning
+// enabled every released buffer is overwritten before reuse, so this test
+// fails if any component reads a frame after returning it to the pool
+// (recycled-buffer-observed-after-release): the poisoned bytes would change
+// the fingerprint, the snapshot JSON, or the segment trace.
+func TestPoolingDeterminism(t *testing.T) {
+	var trClean, trPoison bytes.Buffer
+	clean := runScenario(77, scenarioOpts{traceOut: &trClean})
+	poisoned := runScenario(77, scenarioOpts{poison: true, traceOut: &trPoison})
+	if clean != poisoned {
+		t.Fatalf("pool poisoning changed observable results — a frame is read after release:\n  clean:    %.400s\n  poisoned: %.400s", clean, poisoned)
+	}
+	if !bytes.Equal(trClean.Bytes(), trPoison.Bytes()) {
+		t.Fatal("pool poisoning changed the segment trace — a frame is read after release")
+	}
+	if trClean.Len() == 0 {
+		t.Fatal("trace is empty — the comparison is vacuous")
 	}
 }

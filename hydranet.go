@@ -135,6 +135,14 @@ func New(cfg Config) *Net {
 // on it; with no subscribers emission is disabled and costs nothing.
 func (n *Net) Bus() *obs.Bus { return n.bus }
 
+// PoisonFrames enables (or disables) frame-pool poisoning: every frame
+// buffer returned to the fabric's pool is overwritten with a sentinel
+// pattern before reuse, so a component that illegally retains a reference
+// past its delivery callback observes corruption instead of silently
+// reading recycled data. A testing aid — it costs one memset per released
+// frame and must not change any observable result.
+func (n *Net) PoisonFrames(on bool) { n.fab.Pool().SetPoison(on) }
+
 // Now returns the current virtual time.
 func (n *Net) Now() time.Duration { return n.sched.Now() }
 

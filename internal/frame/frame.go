@@ -1,0 +1,145 @@
+// Package frame provides a pooled, headroom-aware buffer arena for the
+// simulation fast path.
+//
+// The hot path in a HydraNet-FT run materializes each TCP segment several
+// times: once in tcp.Segment.Marshal, once in ipv4.Packet.Marshal, and once
+// or twice more when the redirector tunnels it IP-in-IP. A Buf removes all
+// of those copies: the transport marshals its payload once into a buffer
+// with Headroom bytes reserved in front, and each lower layer prepends its
+// header in place with Prepend. When the fabric finishes delivering the
+// frame, the buffer returns to the pool.
+//
+// Ownership rules (enforced by convention, checked by poison mode):
+//
+//   - Whoever calls Pool.Get owns the Buf until ownership is handed off.
+//   - Passing a Buf to netsim.Node.SendFrame transfers ownership to the
+//     fabric, which guarantees exactly-once Release on every path (normal
+//     delivery, MTU drop, queue drop, random loss, dead node).
+//   - A FrameHandler (and everything it calls synchronously) may read the
+//     frame's bytes during HandleFrame, but must copy anything it retains
+//     past return: the fabric releases the buffer immediately afterwards.
+//
+// The simulator is single-threaded per scheduler, so the pool needs no
+// locking; one Pool must never be shared across schedulers.
+package frame
+
+import "fmt"
+
+// Headroom is the number of bytes reserved in front of every pooled buffer:
+// enough for an IPv4 header (20 B) plus an outer IP-in-IP encapsulation
+// header (20 B), so a marshalled TCP segment can reach the wire without
+// ever being copied.
+const Headroom = 40
+
+// classSizes are the backing-array capacities (excluding nothing — Headroom
+// comes out of the class size). 4096 comfortably covers an Ethernet MTU
+// frame plus headroom; larger requests fall back to exact-size unpooled
+// allocations.
+var classSizes = [...]int{128, 256, 512, 1024, 2048, 4096}
+
+// Buf is one frame buffer. The payload occupies data[off:end]; bytes before
+// off are available headroom for Prepend.
+type Buf struct {
+	data []byte
+	off  int
+	end  int
+	pool *Pool
+	cls  int8 // size-class index; -1 for oversize unpooled buffers
+	free bool
+}
+
+// Bytes returns the current frame contents. The slice is valid only until
+// Release.
+func (b *Buf) Bytes() []byte { return b.data[b.off:b.end] }
+
+// Len returns the current frame length.
+func (b *Buf) Len() int { return b.end - b.off }
+
+// Headroom returns how many bytes Prepend can still claim.
+func (b *Buf) Headroom() int { return b.off }
+
+// Prepend grows the frame by n bytes at the front and returns the new
+// contents. The new bytes are uninitialized. It panics if the buffer was
+// allocated with insufficient headroom — that is a programming error, not a
+// runtime condition.
+func (b *Buf) Prepend(n int) []byte {
+	if n > b.off {
+		panic(fmt.Sprintf("frame: Prepend(%d) exceeds headroom %d", n, b.off))
+	}
+	b.off -= n
+	return b.data[b.off:b.end]
+}
+
+// Release returns the buffer to its pool. Releasing twice panics: a double
+// release means two owners, which is exactly the corruption pooling can
+// introduce. Release on a nil Buf is a no-op.
+func (b *Buf) Release() {
+	if b == nil {
+		return
+	}
+	if b.free {
+		panic("frame: double Release")
+	}
+	b.free = true
+	p := b.pool
+	if p == nil {
+		return
+	}
+	if p.poison {
+		for i := range b.data {
+			b.data[i] = 0xDB
+		}
+	}
+	p.puts++
+	if b.cls >= 0 {
+		p.classes[b.cls] = append(p.classes[b.cls], b)
+	}
+}
+
+// Pool hands out Bufs by size class and recycles them on Release. It is not
+// safe for concurrent use; every scheduler owns its own pool.
+type Pool struct {
+	classes [len(classSizes)][]*Buf
+	poison  bool
+
+	gets, puts, misses uint64
+}
+
+// NewPool returns an empty pool.
+func NewPool() *Pool { return &Pool{} }
+
+// SetPoison makes Release overwrite returned buffers with 0xDB. Tests use
+// this to turn "read after release" bugs into loud, deterministic failures
+// instead of silent heisenbugs.
+func (p *Pool) SetPoison(on bool) { p.poison = on }
+
+// Stats returns cumulative Get calls, Release calls, and Gets that missed
+// the free lists (allocated fresh memory).
+func (p *Pool) Stats() (gets, puts, misses uint64) { return p.gets, p.puts, p.misses }
+
+// Get returns a Buf holding n uninitialized payload bytes with Headroom
+// bytes reserved in front. Callers own the Buf until they Release it or
+// hand it to the fabric.
+func (p *Pool) Get(n int) *Buf {
+	p.gets++
+	need := n + Headroom
+	for ci, size := range classSizes {
+		if need > size {
+			continue
+		}
+		if freeList := p.classes[ci]; len(freeList) > 0 {
+			b := freeList[len(freeList)-1]
+			freeList[len(freeList)-1] = nil
+			p.classes[ci] = freeList[:len(freeList)-1]
+			b.off = Headroom
+			b.end = Headroom + n
+			b.free = false
+			return b
+		}
+		p.misses++
+		return &Buf{data: make([]byte, size), off: Headroom, end: Headroom + n, pool: p, cls: int8(ci)}
+	}
+	// Oversize: exact allocation, never pooled.
+	p.misses++
+	return &Buf{data: make([]byte, need), off: Headroom, end: Headroom + n, pool: p, cls: -1}
+}

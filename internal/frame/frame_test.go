@@ -1,0 +1,112 @@
+package frame
+
+import "testing"
+
+func TestGetReuse(t *testing.T) {
+	p := NewPool()
+	b := p.Get(100)
+	if b.Len() != 100 {
+		t.Fatalf("Len = %d, want 100", b.Len())
+	}
+	if b.Headroom() != Headroom {
+		t.Fatalf("Headroom = %d, want %d", b.Headroom(), Headroom)
+	}
+	b.Release()
+	b2 := p.Get(150) // same 256 B class as the first request
+	if b2 != b {
+		t.Fatal("pool did not reuse the released buffer")
+	}
+	if b2.Len() != 150 || b2.Headroom() != Headroom {
+		t.Fatalf("reused buf Len=%d Headroom=%d", b2.Len(), b2.Headroom())
+	}
+	gets, puts, misses := p.Stats()
+	if gets != 2 || puts != 1 || misses != 1 {
+		t.Fatalf("stats = %d/%d/%d, want 2/1/1", gets, puts, misses)
+	}
+}
+
+func TestPrepend(t *testing.T) {
+	p := NewPool()
+	b := p.Get(4)
+	copy(b.Bytes(), "data")
+	hdr := b.Prepend(20)
+	if len(hdr) != 24 {
+		t.Fatalf("len after Prepend = %d, want 24", len(hdr))
+	}
+	if string(hdr[20:]) != "data" {
+		t.Fatal("Prepend moved the payload")
+	}
+	if b.Headroom() != Headroom-20 {
+		t.Fatalf("headroom after Prepend = %d, want %d", b.Headroom(), Headroom-20)
+	}
+}
+
+func TestPrependOverflowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Prepend past headroom did not panic")
+		}
+	}()
+	NewPool().Get(1).Prepend(Headroom + 1)
+}
+
+func TestDoubleReleasePanics(t *testing.T) {
+	p := NewPool()
+	b := p.Get(8)
+	b.Release()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double Release did not panic")
+		}
+	}()
+	b.Release()
+}
+
+func TestPoison(t *testing.T) {
+	p := NewPool()
+	p.SetPoison(true)
+	b := p.Get(8)
+	data := b.Bytes()
+	copy(data, "payload!")
+	b.Release()
+	for i, v := range data {
+		if v != 0xDB {
+			t.Fatalf("byte %d = %#x after poisoned release, want 0xDB", i, v)
+		}
+	}
+}
+
+func TestOversize(t *testing.T) {
+	p := NewPool()
+	b := p.Get(8000)
+	if b.Len() != 8000 {
+		t.Fatalf("Len = %d", b.Len())
+	}
+	b.Release() // must not enter a free list
+	for _, c := range p.classes {
+		if len(c) != 0 {
+			t.Fatal("oversize buffer entered a size class")
+		}
+	}
+}
+
+func TestSizeClassSelection(t *testing.T) {
+	p := NewPool()
+	small := p.Get(64) // 64+40=104 → class 128
+	big := p.Get(1500) // 1540 → class 2048
+	if cap(small.data) != 128 {
+		t.Fatalf("64 B request got class %d, want 128", cap(small.data))
+	}
+	if cap(big.data) != 2048 {
+		t.Fatalf("1500 B request got class %d, want 2048", cap(big.data))
+	}
+}
+
+func BenchmarkGetRelease(b *testing.B) {
+	p := NewPool()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Get(1480).Release()
+	}
+}

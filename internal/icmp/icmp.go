@@ -104,7 +104,7 @@ type ErrorFunc func(msg *Message, inner *ipv4.Header)
 
 type pendingEcho struct {
 	sentAt   time.Duration
-	deadline *sim.Event
+	deadline sim.Event
 	done     func(EchoResult)
 }
 

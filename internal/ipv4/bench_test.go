@@ -1,15 +1,25 @@
 package ipv4
 
-import "testing"
+import (
+	"fmt"
+	"testing"
+)
 
-func BenchmarkChecksum1500(b *testing.B) {
-	data := make([]byte, 1500)
-	for i := range data {
-		data[i] = byte(i)
-	}
-	b.SetBytes(1500)
-	for i := 0; i < b.N; i++ {
-		Checksum(data)
+// BenchmarkChecksum covers the three frame sizes that matter on the testbed:
+// a minimum frame, the classic default datagram, and a full Ethernet MTU.
+func BenchmarkChecksum(b *testing.B) {
+	for _, size := range []int{64, 576, 1500} {
+		b.Run(fmt.Sprintf("%dB", size), func(b *testing.B) {
+			data := make([]byte, size)
+			for i := range data {
+				data[i] = byte(i)
+			}
+			b.SetBytes(int64(size))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				Checksum(data)
+			}
+		})
 	}
 }
 

@@ -1,5 +1,7 @@
 package ipv4
 
+import "encoding/binary"
+
 // Checksum computes the Internet checksum (RFC 1071) over data: the one's
 // complement of the one's-complement sum of all 16-bit words, padding an odd
 // trailing byte with zero.
@@ -9,15 +11,40 @@ func Checksum(data []byte) uint16 {
 
 // sum16 accumulates 16-bit big-endian words of data into a running 32-bit
 // partial sum, for composing checksums over header + pseudo-header + payload.
+//
+// It runs word-at-a-time: because one's-complement addition is associative
+// and 2^16 ≡ 1 (mod 65535), a big-endian 32-bit load contributes its two
+// 16-bit halves correctly once the accumulator is folded, and the same
+// argument extends the fold from 64 to 32 bits (2^32 ≡ 1 mod 65535). The
+// main loop consumes 32 bytes per iteration.
 func sum16(acc uint32, data []byte) uint32 {
+	sum := uint64(acc)
 	n := len(data)
-	for i := 0; i+1 < n; i += 2 {
-		acc += uint32(data[i])<<8 | uint32(data[i+1])
+	i := 0
+	for ; i+32 <= n; i += 32 {
+		sum += uint64(binary.BigEndian.Uint32(data[i:]))
+		sum += uint64(binary.BigEndian.Uint32(data[i+4:]))
+		sum += uint64(binary.BigEndian.Uint32(data[i+8:]))
+		sum += uint64(binary.BigEndian.Uint32(data[i+12:]))
+		sum += uint64(binary.BigEndian.Uint32(data[i+16:]))
+		sum += uint64(binary.BigEndian.Uint32(data[i+20:]))
+		sum += uint64(binary.BigEndian.Uint32(data[i+24:]))
+		sum += uint64(binary.BigEndian.Uint32(data[i+28:]))
 	}
-	if n%2 == 1 {
-		acc += uint32(data[n-1]) << 8
+	for ; i+4 <= n; i += 4 {
+		sum += uint64(binary.BigEndian.Uint32(data[i:]))
 	}
-	return acc
+	if i+2 <= n {
+		sum += uint64(binary.BigEndian.Uint16(data[i:]))
+		i += 2
+	}
+	if i < n {
+		sum += uint64(data[i]) << 8
+	}
+	for sum>>32 != 0 {
+		sum = sum&0xffffffff + sum>>32
+	}
+	return uint32(sum)
 }
 
 func foldSum(acc uint32) uint16 {
@@ -25,6 +52,32 @@ func foldSum(acc uint32) uint16 {
 		acc = (acc & 0xffff) + acc>>16
 	}
 	return uint16(acc)
+}
+
+// UpdateChecksum16 incrementally updates an Internet checksum after a single
+// 16-bit word of the covered data changes from old to new, per RFC 1624
+// Eq. 3: HC' = ~(~HC + ~m + m'). For any header whose stored checksum was
+// produced by Checksum over nonzero data, the result is bit-identical to a
+// full recompute.
+func UpdateChecksum16(sum, old, new uint16) uint16 {
+	acc := uint32(^sum) & 0xffff
+	acc += uint32(^old) & 0xffff
+	acc += uint32(new)
+	return ^foldSum(acc)
+}
+
+// PatchTTL overwrites the TTL byte of a marshalled IPv4 header in place and
+// incrementally updates the header checksum. This is the forwarding fast
+// path: a router that only decrements TTL must not re-sum the header
+// (RFC 1624's motivating case).
+func PatchTTL(wire []byte, ttl uint8) {
+	// TTL shares its 16-bit checksum word with the protocol byte.
+	old := uint16(wire[8])<<8 | uint16(wire[9])
+	wire[8] = ttl
+	sum := uint16(wire[10])<<8 | uint16(wire[11])
+	sum = UpdateChecksum16(sum, old, uint16(ttl)<<8|uint16(wire[9]))
+	wire[10] = byte(sum >> 8)
+	wire[11] = byte(sum)
 }
 
 // PseudoChecksum computes the TCP/UDP checksum: the Internet checksum over

@@ -1,0 +1,81 @@
+package ipv4
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzIncrementalChecksum checks RFC 1624 Eq. 3 against ground truth: for
+// an arbitrary header with a correctly computed checksum, mutating any
+// 16-bit word and updating incrementally must agree bit-for-bit with a full
+// recompute over the mutated bytes.
+func FuzzIncrementalChecksum(f *testing.F) {
+	f.Add([]byte{0x45, 0, 0, 20, 0, 1, 0, 0, 64, 6, 0, 0, 10, 0, 0, 1, 10, 0, 0, 2}, uint8(4), uint16(0x3f06))
+	f.Add([]byte{0x45, 0, 5, 220, 0, 9, 0x20, 0, 1, 17, 0, 0, 10, 0, 1, 1, 10, 0, 2, 2}, uint8(0), uint16(0))
+	f.Add(bytes.Repeat([]byte{0xff}, 20), uint8(9), uint16(0xffff))
+	f.Fuzz(func(t *testing.T, hdr []byte, wordIdx uint8, newWord uint16) {
+		if len(hdr) < 4 || len(hdr)%2 != 0 {
+			t.Skip()
+		}
+		h := append([]byte(nil), hdr...)
+		// Install a correct checksum in the second word (the IPv4 slot is
+		// byte 10, but the identity holds wherever the field lives; using a
+		// fixed slot keeps the harness simple).
+		h[2], h[3] = 0, 0
+		sum := Checksum(h)
+		h[2], h[3] = byte(sum>>8), byte(sum)
+
+		// Mutate one word other than the checksum field itself.
+		i := int(wordIdx) % (len(h) / 2)
+		if i == 1 {
+			i = 0
+		}
+		old := uint16(h[2*i])<<8 | uint16(h[2*i+1])
+		got := UpdateChecksum16(sum, old, newWord)
+
+		h[2*i], h[2*i+1] = byte(newWord>>8), byte(newWord)
+		h[2], h[3] = 0, 0
+		want := Checksum(h)
+
+		// Both the incremental result and the recompute are produced by a
+		// final one's complement, so they agree exactly unless the data sums
+		// to zero — impossible here only when the header has nonzero bytes;
+		// all-zero data is the single 0x0000 vs 0xFFFF ambiguity in the
+		// Internet checksum, which RFC 1624 acknowledges. Accept both
+		// representations of zero in that case.
+		if got != want && !(got%0xffff == want%0xffff) {
+			t.Fatalf("incremental %#04x != recompute %#04x (word %d: %#04x -> %#04x)",
+				got, want, i, old, newWord)
+		}
+	})
+}
+
+// FuzzPatchTTL drives the real forwarding fast path: marshal a valid
+// header, patch the TTL, and require the result to verify and to match a
+// full re-marshal.
+func FuzzPatchTTL(f *testing.F) {
+	f.Add(uint8(64), uint8(63), uint8(6))
+	f.Add(uint8(1), uint8(0), uint8(17))
+	f.Add(uint8(255), uint8(1), uint8(4))
+	f.Fuzz(func(t *testing.T, ttl, newTTL, proto uint8) {
+		p := &Packet{Header: Header{
+			TTL: ttl, Proto: proto, Src: AddrFrom4(10, 0, 0, 1), Dst: AddrFrom4(10, 0, 9, 9), ID: 77,
+		}}
+		wire, err := p.Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		PatchTTL(wire, newTTL)
+		if got := Checksum(wire[:HeaderLen]); got != 0 {
+			t.Fatalf("patched header does not verify: residual %#04x", got)
+		}
+		p.TTL = newTTL
+		want, err := p.Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(wire, want) {
+			t.Fatalf("patched wire\n%x\n!= remarshal\n%x", wire, want)
+		}
+	})
+}

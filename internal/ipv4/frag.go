@@ -62,7 +62,7 @@ type fragHole struct {
 
 type fragEntry struct {
 	parts   []fragHole
-	expires *sim.Event
+	expires sim.Event
 }
 
 // Reassembler collects fragments and produces whole datagrams. It is
@@ -96,17 +96,21 @@ func (r *Reassembler) Add(p *Packet) *Packet {
 		})
 		r.pending[key] = e
 	}
+	// The fragment payload aliases a pooled fabric frame that is recycled
+	// once this delivery event returns, while reassembly state lives until
+	// the datagram completes or times out — copy it.
+	data := append([]byte(nil), p.Payload...)
 	// Duplicate fragments (retransmissions) replace rather than accumulate.
 	replaced := false
 	for i := range e.parts {
 		if e.parts[i].off == p.FragOff {
-			e.parts[i] = fragHole{off: p.FragOff, data: p.Payload, more: p.MoreFrag}
+			e.parts[i] = fragHole{off: p.FragOff, data: data, more: p.MoreFrag}
 			replaced = true
 			break
 		}
 	}
 	if !replaced {
-		e.parts = append(e.parts, fragHole{off: p.FragOff, data: p.Payload, more: p.MoreFrag})
+		e.parts = append(e.parts, fragHole{off: p.FragOff, data: data, more: p.MoreFrag})
 	}
 	whole := assemble(e.parts)
 	if whole == nil {

@@ -39,7 +39,21 @@ type Header struct {
 type Packet struct {
 	Header
 	Payload []byte
+
+	// wire holds the original marshalled bytes when the packet came off the
+	// fabric via Unmarshal. Forwarding and encapsulation fast paths reuse it
+	// (patching TTL incrementally) instead of re-marshalling. Like Payload,
+	// it aliases the fabric's frame buffer and is valid only during the
+	// delivery event.
+	wire []byte
 }
+
+// Wire returns the packet's original wire bytes if it was produced by
+// Unmarshal, else nil. The slice aliases the received frame: it is readable
+// only synchronously within the delivery event, and callers must treat it
+// as immutable except through PatchTTL-style incremental updates applied to
+// a copy.
+func (p *Packet) Wire() []byte { return p.wire }
 
 // Errors returned by Unmarshal.
 var (
@@ -52,14 +66,28 @@ var (
 // Marshal serializes the packet into wire format, computing TotalLen and the
 // header checksum. Fragment offsets must be multiples of 8 bytes.
 func (p *Packet) Marshal() ([]byte, error) {
-	if p.FragOff%8 != 0 {
-		return nil, fmt.Errorf("ipv4: fragment offset %d not a multiple of 8", p.FragOff)
-	}
 	total := HeaderLen + len(p.Payload)
-	if total > 0xffff {
-		return nil, fmt.Errorf("ipv4: datagram of %d bytes exceeds 65535", total)
+	if err := p.checkMarshal(total); err != nil {
+		return nil, err
 	}
 	b := make([]byte, total)
+	p.putHeader(b, total)
+	copy(b[HeaderLen:], p.Payload)
+	return b, nil
+}
+
+func (p *Packet) checkMarshal(total int) error {
+	if p.FragOff%8 != 0 {
+		return fmt.Errorf("ipv4: fragment offset %d not a multiple of 8", p.FragOff)
+	}
+	if total > 0xffff {
+		return fmt.Errorf("ipv4: datagram of %d bytes exceeds 65535", total)
+	}
+	return nil
+}
+
+// putHeader writes the 20-byte wire header (with checksum) into b[:HeaderLen].
+func (p *Packet) putHeader(b []byte, total int) {
 	b[0] = 0x45 // version 4, IHL 5
 	b[1] = p.TOS
 	b[2] = byte(total >> 8)
@@ -77,14 +105,12 @@ func (p *Packet) Marshal() ([]byte, error) {
 	b[7] = byte(frag)
 	b[8] = p.TTL
 	b[9] = p.Proto
-	// b[10:12] checksum, zero while summing
+	b[10], b[11] = 0, 0 // checksum, zero while summing
 	putAddr(b[12:16], p.Src)
 	putAddr(b[16:20], p.Dst)
 	sum := Checksum(b[:HeaderLen])
 	b[10] = byte(sum >> 8)
 	b[11] = byte(sum)
-	copy(b[HeaderLen:], p.Payload)
-	return b, nil
 }
 
 // Unmarshal parses and validates a wire-format IPv4 packet, verifying the
@@ -122,6 +148,7 @@ func Unmarshal(b []byte) (*Packet, error) {
 			Dst:      getAddr(b[16:20]),
 		},
 		Payload: b[ihl:total],
+		wire:    b[:total],
 	}
 	return p, nil
 }

@@ -213,12 +213,17 @@ func (s *Stack) transmit(p *Packet, ifindex int) error {
 	if err != nil {
 		return err
 	}
+	pool := s.node.Pool()
 	for _, f := range frags {
-		b, err := f.Marshal()
-		if err != nil {
+		total := HeaderLen + len(f.Payload)
+		if err := f.checkMarshal(total); err != nil {
 			return err
 		}
-		s.node.Send(ifindex, b)
+		fb := pool.Get(total)
+		b := fb.Bytes()
+		f.putHeader(b, total)
+		copy(b[HeaderLen:], f.Payload)
+		s.node.SendFrame(ifindex, fb)
 	}
 	return nil
 }
@@ -249,7 +254,7 @@ func (s *Stack) HandleFrame(ifindex int, frame []byte) {
 		return
 	}
 	s.stats.Forwarded++
-	if err := s.SendPacket(p); err != nil {
+	if err := s.forward(p); err != nil {
 		// ICMP reports the failure to the source; the packet is dropped.
 		reason := ErrorNoRoute
 		if errors.Is(err, ErrFragNeeded) {

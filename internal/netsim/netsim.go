@@ -12,12 +12,16 @@ import (
 	"fmt"
 	"time"
 
+	"hydranet/internal/frame"
 	"hydranet/internal/obs"
 	"hydranet/internal/sim"
 )
 
 // FrameHandler receives frames delivered to a node, tagged with the index
-// of the interface they arrived on.
+// of the interface they arrived on. The frame bytes belong to the fabric:
+// they are valid only for the duration of the call, and anything retained
+// afterwards must be copied (the underlying buffer is recycled as soon as
+// HandleFrame returns).
 type FrameHandler interface {
 	HandleFrame(ifindex int, frame []byte)
 }
@@ -28,12 +32,18 @@ type Network struct {
 	nodes []*Node
 	links []*Link
 	bus   *obs.Bus
+	pool  *frame.Pool
 }
 
 // New returns an empty network driven by the given scheduler.
 func New(sched *sim.Scheduler) *Network {
-	return &Network{sched: sched}
+	return &Network{sched: sched, pool: frame.NewPool()}
 }
+
+// Pool returns the network's frame-buffer pool. Layers above the fabric
+// allocate transmit buffers here and hand them to Node.SendFrame; the
+// scheduler is single-threaded, so the pool is unsynchronized by design.
+func (n *Network) Pool() *frame.Pool { return n.pool }
 
 // SetBus attaches an observability event bus; the fabric emits frame-drop
 // and crash/restart events on it. A nil bus (the default) disables all
@@ -43,8 +53,24 @@ func (n *Network) SetBus(b *obs.Bus) { n.bus = b }
 // Scheduler returns the scheduler driving this network.
 func (n *Network) Scheduler() *sim.Scheduler { return n.sched }
 
-// Nodes returns the nodes added so far, in creation order.
+// Nodes returns a copy of the nodes added so far, in creation order. It
+// allocates; iteration-heavy callers (snapshots run once per sampling
+// interval) should use NumNodes/NodeAt or ForEachNode instead.
 func (n *Network) Nodes() []*Node { return append([]*Node(nil), n.nodes...) }
+
+// NumNodes returns the number of nodes in the network.
+func (n *Network) NumNodes() int { return len(n.nodes) }
+
+// NodeAt returns the i'th node in creation order.
+func (n *Network) NodeAt(i int) *Node { return n.nodes[i] }
+
+// ForEachNode calls fn for every node in creation order, without
+// allocating.
+func (n *Network) ForEachNode(fn func(*Node)) {
+	for _, nd := range n.nodes {
+		fn(nd)
+	}
+}
 
 // NodeConfig describes a node's processing characteristics.
 type NodeConfig struct {
@@ -140,6 +166,10 @@ type iface struct {
 // Name returns the node's configured name.
 func (nd *Node) Name() string { return nd.name }
 
+// Pool returns the network-wide frame pool, for layers that marshal
+// directly into transmit buffers.
+func (nd *Node) Pool() *frame.Pool { return nd.net.pool }
+
 // NumInterfaces returns how many links are attached.
 func (nd *Node) NumInterfaces() int { return len(nd.ifaces) }
 
@@ -182,35 +212,58 @@ func (nd *Node) Peer(ifindex int) *Node {
 	return ifc.link.ends[1-ifc.side].node
 }
 
-// Send transmits a frame out interface ifindex. The frame is charged the
-// node's CPU cost, then the link's queueing, serialization and propagation
-// delays. Oversized frames and frames sent by a crashed node are dropped.
+// Send transmits a copy of frame out interface ifindex. The caller keeps
+// ownership of the slice. This is the compatibility path; the zero-copy
+// fast path is SendFrame.
 func (nd *Node) Send(ifindex int, frame []byte) {
 	if !nd.alive {
 		return
 	}
+	fb := nd.net.pool.Get(len(frame))
+	copy(fb.Bytes(), frame)
+	nd.SendFrame(ifindex, fb)
+}
+
+// SendFrame transmits a pooled frame out interface ifindex, taking
+// ownership of fb: the fabric guarantees exactly one Release on every
+// outcome — delivery, MTU drop, queue drop, random loss, or a crashed
+// node. The frame is charged the node's CPU cost, then the link's queueing,
+// serialization and propagation delays.
+func (nd *Node) SendFrame(ifindex int, fb *frame.Buf) {
+	if !nd.alive {
+		fb.Release()
+		return
+	}
 	if ifindex < 0 || ifindex >= len(nd.ifaces) {
+		fb.Release()
 		panic(fmt.Sprintf("netsim: node %q has no interface %d", nd.name, ifindex))
 	}
 	ifc := nd.ifaces[ifindex]
-	if len(frame) > ifc.link.cfg.MTU {
+	if fb.Len() > ifc.link.cfg.MTU {
 		nd.dropped++
 		if b := nd.net.bus; b.Enabled(obs.KindMTUDrop) {
 			b.Publish(obs.Event{
-				Kind: obs.KindMTUDrop, Node: nd.name, Size: len(frame),
+				Kind: obs.KindMTUDrop, Node: nd.name, Size: fb.Len(),
 				Detail: fmt.Sprintf("mtu %d", ifc.link.cfg.MTU),
 			})
 		}
+		fb.Release()
 		return
 	}
 	nd.sent++
-	nd.cpu(len(frame), func() {
-		ifc.link.transmit(ifc.side, frame)
+	nd.cpu(fb.Len(), func() {
+		if !nd.alive {
+			fb.Release()
+			return
+		}
+		ifc.link.transmit(ifc.side, fb)
 	})
 }
 
 // cpu runs fn after the node's serial CPU has spent the frame's processing
-// cost (fixed plus per-byte).
+// cost (fixed plus per-byte). fn always runs, even if the node crashed in
+// the meantime: callbacks that carry pooled frames must get the chance to
+// release them, so liveness checks belong inside fn.
 func (nd *Node) cpu(size int, fn func()) {
 	s := nd.net.sched
 	start := s.Now()
@@ -218,23 +271,26 @@ func (nd *Node) cpu(size int, fn func()) {
 		start = nd.cpuFree
 	}
 	nd.cpuFree = start + nd.procDelay + time.Duration(size)*nd.procPerByte
-	s.At(nd.cpuFree, func() {
-		if nd.alive {
-			fn()
-		}
-	})
+	s.At(nd.cpuFree, fn)
 }
 
-// deliver is called by a link when a frame arrives at this node.
-func (nd *Node) deliver(ifindex int, frame []byte) {
+// deliver is called by a link when a frame arrives at this node. It owns fb
+// and releases it after the handler returns (or on any drop path).
+func (nd *Node) deliver(ifindex int, fb *frame.Buf) {
 	if !nd.alive {
+		fb.Release()
 		return
 	}
-	nd.cpu(len(frame), func() {
+	nd.cpu(fb.Len(), func() {
+		if !nd.alive {
+			fb.Release()
+			return
+		}
 		nd.received++
 		if nd.handler != nil {
-			nd.handler.HandleFrame(ifindex, frame)
+			nd.handler.HandleFrame(ifindex, fb.Bytes())
 		}
+		fb.Release()
 	})
 }
 
@@ -279,10 +335,11 @@ func (l *Link) serialization(size int) time.Duration {
 	return time.Duration(bits * int64(time.Second) / l.cfg.Rate)
 }
 
-// transmit queues a frame for transmission from the given side.
-func (l *Link) transmit(side int, frame []byte) {
+// transmit queues a frame for transmission from the given side. It owns fb:
+// drop paths release it, and delivery hands it to the destination node.
+func (l *Link) transmit(side int, fb *frame.Buf) {
 	s := l.net.sched
-	size := len(frame)
+	size := fb.Len()
 	if l.backlog[side]+size > l.cfg.QueueBytes {
 		l.queueDrop[side]++
 		if b := l.net.bus; b.Enabled(obs.KindQueueDrop) {
@@ -291,6 +348,7 @@ func (l *Link) transmit(side int, frame []byte) {
 				Detail: "→" + l.ends[1-side].node.name,
 			})
 		}
+		fb.Release()
 		return
 	}
 	if l.cfg.Loss > 0 && s.Rand().Float64() < l.cfg.Loss {
@@ -301,6 +359,7 @@ func (l *Link) transmit(side int, frame []byte) {
 				Detail: "→" + l.ends[1-side].node.name,
 			})
 		}
+		fb.Release()
 		return
 	}
 	l.backlog[side] += size
@@ -319,5 +378,5 @@ func (l *Link) transmit(side int, frame []byte) {
 	if l.cfg.Jitter > 0 {
 		arrive += time.Duration(s.Rand().Int63n(int64(l.cfg.Jitter) + 1))
 	}
-	s.At(arrive, func() { dst.node.deliver(dst.ifindex, frame) })
+	s.At(arrive, func() { dst.node.deliver(dst.ifindex, fb) })
 }

@@ -250,25 +250,11 @@ func nearest(targets []Target) *Target {
 }
 
 // tunnel wraps the packet in IP-in-IP and routes it to the host server.
+// SendEncap reuses the intercepted packet's wire bytes when the result fits
+// the MTU: one copy into a pooled buffer, TTL patched incrementally, outer
+// header prepended in place.
 func (r *Redirector) tunnel(inner *ipv4.Packet, host ipv4.Addr) {
-	body, err := inner.Marshal()
-	if err != nil {
-		r.noteTunnelError(host, err.Error())
-		return
-	}
-	outer := &ipv4.Packet{
-		Header: ipv4.Header{
-			TTL:   ipv4.DefaultTTL,
-			Proto: ipv4.ProtoIPIP,
-			Dst:   host,
-			ID:    r.ip.AllocID(),
-		},
-		Payload: body,
-	}
-	if ifindex := r.ip.Routes().Lookup(host); ifindex >= 0 {
-		outer.Src = r.ip.Addr(ifindex)
-	}
-	if err := r.ip.SendPacket(outer); err != nil {
+	if err := r.ip.SendEncap(inner, host); err != nil {
 		r.noteTunnelError(host, err.Error())
 	}
 }

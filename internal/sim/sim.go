@@ -6,76 +6,82 @@
 // reproducible. The engine is intentionally single-threaded: protocol
 // endpoints are event-driven state machines, not goroutines, which removes
 // scheduling nondeterminism from measurements.
+//
+// The scheduler is allocation-free in steady state: event nodes live on an
+// internal free list and are recycled after they fire or are cancelled, and
+// the pending queue is a specialized min-heap rather than container/heap
+// (whose any-typed Push/Pop would box every node). Handles returned by At
+// and After are generation-checked values, so holding a handle past its
+// event's lifetime is always safe: Cancel on a stale handle is a no-op even
+// if the underlying node has been recycled for an unrelated event.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 	"time"
 )
 
-// Event is a scheduled callback. The callback runs exactly once unless the
-// event is cancelled first.
-type Event struct {
-	at     time.Duration
-	seq    uint64
-	fn     func()
-	index  int // heap index; -1 once removed
-	cancel bool
+// eventNode is the scheduler-owned representation of a pending callback.
+// Nodes are recycled through the scheduler's free list; gen increments on
+// every recycle so stale Event handles cannot reach a new occupant.
+type eventNode struct {
+	fn        func()
+	at        time.Duration
+	seq       uint64
+	gen       uint64
+	s         *Scheduler
+	index     int32 // heap index; -1 once removed
+	cancelled bool
 }
 
-// At returns the virtual time the event is scheduled for.
-func (e *Event) At() time.Duration { return e.at }
+// Event is a handle to a scheduled callback. The callback runs exactly once
+// unless the event is cancelled first. The zero Event is inert: Cancel is a
+// no-op and Cancelled reports true.
+type Event struct {
+	n   *eventNode
+	gen uint64
+}
+
+// live reports whether the handle still refers to a pending, uncancelled
+// event.
+func (e *Event) live() bool {
+	return e != nil && e.n != nil && e.n.gen == e.gen && !e.n.cancelled
+}
+
+// At returns the virtual time the event is scheduled for, or 0 if the event
+// has already fired or been cancelled.
+func (e *Event) At() time.Duration {
+	if !e.live() {
+		return 0
+	}
+	return e.n.at
+}
 
 // Cancel prevents the event from firing. Cancelling an already-fired or
-// already-cancelled event is a no-op.
+// already-cancelled event is a no-op, even if the scheduler has recycled the
+// underlying node for a different event.
 func (e *Event) Cancel() {
-	if e != nil {
-		e.cancel = true
+	if !e.live() {
+		return
 	}
+	n := e.n
+	n.cancelled = true
+	n.fn = nil
+	n.s.dead++
+	n.s.maybeCompact()
 }
 
-// Cancelled reports whether Cancel was called on the event.
-func (e *Event) Cancelled() bool { return e.cancel }
-
-type eventQueue []*Event
-
-func (q eventQueue) Len() int { return len(q) }
-
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
-	}
-	return q[i].seq < q[j].seq
-}
-
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].index = i
-	q[j].index = j
-}
-
-func (q *eventQueue) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*q)
-	*q = append(*q, e)
-}
-
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*q = old[:n-1]
-	return e
-}
+// Cancelled reports whether the event will no longer fire: it was cancelled,
+// or it has already run.
+func (e *Event) Cancelled() bool { return !e.live() }
 
 // Scheduler owns the virtual clock and the pending-event queue.
 type Scheduler struct {
 	now     time.Duration
-	queue   eventQueue
+	heap    []*eventNode
+	free    []*eventNode
+	dead    int // cancelled nodes still sitting in heap (lazy deletion)
 	nextSeq uint64
 	rng     *rand.Rand
 	fired   uint64
@@ -98,24 +104,37 @@ func (s *Scheduler) Rand() *rand.Rand { return s.rng }
 // Fired returns the number of events executed so far.
 func (s *Scheduler) Fired() uint64 { return s.fired }
 
-// Pending returns the number of events waiting in the queue, including
-// cancelled events that have not yet been discarded.
-func (s *Scheduler) Pending() int { return len(s.queue) }
+// Pending returns the number of live events waiting in the queue. Cancelled
+// events awaiting lazy removal are not counted.
+func (s *Scheduler) Pending() int { return len(s.heap) - s.dead }
 
 // At schedules fn to run at absolute virtual time t. Scheduling in the past
 // panics: it would reorder causality.
-func (s *Scheduler) At(t time.Duration, fn func()) *Event {
+func (s *Scheduler) At(t time.Duration, fn func()) Event {
 	if t < s.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, s.now))
 	}
-	e := &Event{at: t, seq: s.nextSeq, fn: fn}
+	var n *eventNode
+	if k := len(s.free); k > 0 {
+		n = s.free[k-1]
+		s.free[k-1] = nil
+		s.free = s.free[:k-1]
+	} else {
+		n = &eventNode{s: s}
+	}
+	n.at = t
+	n.seq = s.nextSeq
+	n.fn = fn
+	n.cancelled = false
 	s.nextSeq++
-	heap.Push(&s.queue, e)
-	return e
+	n.index = int32(len(s.heap))
+	s.heap = append(s.heap, n)
+	s.siftUp(int(n.index))
+	return Event{n: n, gen: n.gen}
 }
 
 // After schedules fn to run d after the current virtual time.
-func (s *Scheduler) After(d time.Duration, fn func()) *Event {
+func (s *Scheduler) After(d time.Duration, fn func()) Event {
 	if d < 0 {
 		d = 0
 	}
@@ -125,14 +144,18 @@ func (s *Scheduler) After(d time.Duration, fn func()) *Event {
 // Step executes the next pending event, advancing the clock to its
 // timestamp. It returns false when the queue is empty.
 func (s *Scheduler) Step() bool {
-	for len(s.queue) > 0 {
-		e := heap.Pop(&s.queue).(*Event)
-		if e.cancel {
+	for len(s.heap) > 0 {
+		n := s.popRoot()
+		if n.cancelled {
+			s.dead--
+			s.recycle(n)
 			continue
 		}
-		s.now = e.at
+		s.now = n.at
 		s.fired++
-		e.fn()
+		fn := n.fn
+		s.recycle(n)
+		fn()
 		return true
 	}
 	return false
@@ -151,8 +174,8 @@ func (s *Scheduler) Run() {
 func (s *Scheduler) RunUntil(deadline time.Duration) {
 	s.running = true
 	for s.running {
-		e := s.peek()
-		if e == nil || e.at > deadline {
+		n := s.peek()
+		if n == nil || n.at > deadline {
 			break
 		}
 		s.Step()
@@ -166,45 +189,153 @@ func (s *Scheduler) RunUntil(deadline time.Duration) {
 // Stop makes a Run or RunUntil in progress return after the current event.
 func (s *Scheduler) Stop() { s.running = false }
 
-func (s *Scheduler) peek() *Event {
-	for len(s.queue) > 0 {
-		e := s.queue[0]
-		if !e.cancel {
-			return e
+// peek returns the earliest live node, draining cancelled nodes off the top
+// of the heap along the way.
+func (s *Scheduler) peek() *eventNode {
+	for len(s.heap) > 0 {
+		n := s.heap[0]
+		if !n.cancelled {
+			return n
 		}
-		heap.Pop(&s.queue)
+		s.popRoot()
+		s.dead--
+		s.recycle(n)
 	}
 	return nil
+}
+
+// recycle returns a node to the free list. The generation bump invalidates
+// every outstanding handle to this occupancy.
+func (s *Scheduler) recycle(n *eventNode) {
+	n.gen++
+	n.fn = nil
+	n.index = -1
+	n.cancelled = false
+	s.free = append(s.free, n)
+}
+
+// maybeCompact removes cancelled nodes in bulk once they dominate the heap,
+// bounding memory under heavy Timer.Reset churn (TCP retransmission timers
+// re-arm on every ACK, orphaning their previous deadline each time).
+func (s *Scheduler) maybeCompact() {
+	if s.dead <= 64 || s.dead*2 <= len(s.heap) {
+		return
+	}
+	live := s.heap[:0]
+	for _, n := range s.heap {
+		if n.cancelled {
+			s.recycle(n)
+			continue
+		}
+		live = append(live, n)
+	}
+	// Clear the tail so recycled nodes aren't retained by the backing array.
+	for i := len(live); i < len(s.heap); i++ {
+		s.heap[i] = nil
+	}
+	s.heap = live
+	s.dead = 0
+	for i := range s.heap {
+		s.heap[i].index = int32(i)
+	}
+	for i := len(s.heap)/2 - 1; i >= 0; i-- {
+		s.siftDown(i)
+	}
+}
+
+// less orders the heap by (timestamp, insertion sequence): strict timestamp
+// order with FIFO tie-breaking keeps runs reproducible.
+func (s *Scheduler) less(i, j int) bool {
+	a, b := s.heap[i], s.heap[j]
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+func (s *Scheduler) swap(i, j int) {
+	s.heap[i], s.heap[j] = s.heap[j], s.heap[i]
+	s.heap[i].index = int32(i)
+	s.heap[j].index = int32(j)
+}
+
+func (s *Scheduler) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s.less(i, parent) {
+			break
+		}
+		s.swap(i, parent)
+		i = parent
+	}
+}
+
+func (s *Scheduler) siftDown(i int) {
+	n := len(s.heap)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		min := left
+		if right := left + 1; right < n && s.less(right, left) {
+			min = right
+		}
+		if !s.less(min, i) {
+			break
+		}
+		s.swap(i, min)
+		i = min
+	}
+}
+
+// popRoot removes and returns the heap root. Callers adjust dead counts and
+// recycle the node.
+func (s *Scheduler) popRoot() *eventNode {
+	n := s.heap[0]
+	last := len(s.heap) - 1
+	s.heap[0] = s.heap[last]
+	s.heap[0].index = 0
+	s.heap[last] = nil
+	s.heap = s.heap[:last]
+	if last > 0 {
+		s.siftDown(0)
+	}
+	n.index = -1
+	return n
 }
 
 // Timer is a restartable one-shot timer bound to a scheduler, in the style
 // of kernel protocol timers (retransmission, delayed-ACK, keepalive).
 type Timer struct {
-	s  *Scheduler
-	ev *Event
-	fn func()
+	s      *Scheduler
+	ev     Event
+	fn     func()
+	fireFn func() // cached method value so Reset never allocates
 }
 
 // NewTimer returns a stopped timer that runs fn when it expires.
 func NewTimer(s *Scheduler, fn func()) *Timer {
-	return &Timer{s: s, fn: fn}
+	t := &Timer{s: s, fn: fn}
+	t.fireFn = t.fire
+	return t
 }
 
 // Reset (re)arms the timer to fire d from now, cancelling any earlier
 // deadline.
 func (t *Timer) Reset(d time.Duration) {
 	t.ev.Cancel()
-	t.ev = t.s.After(d, t.fire)
+	t.ev = t.s.After(d, t.fireFn)
 }
 
 // Stop disarms the timer.
 func (t *Timer) Stop() {
 	t.ev.Cancel()
-	t.ev = nil
+	t.ev = Event{}
 }
 
 // Armed reports whether the timer is waiting to fire.
-func (t *Timer) Armed() bool { return t.ev != nil && !t.ev.Cancelled() }
+func (t *Timer) Armed() bool { return t.ev.live() }
 
 // Deadline returns the virtual time the timer will fire at; valid only when
 // Armed.
@@ -216,6 +347,6 @@ func (t *Timer) Deadline() time.Duration {
 }
 
 func (t *Timer) fire() {
-	t.ev = nil
+	t.ev = Event{}
 	t.fn()
 }

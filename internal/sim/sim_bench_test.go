@@ -68,3 +68,55 @@ func BenchmarkSchedulerMixedQueue(b *testing.B) {
 		s.Step()
 	}
 }
+
+// BenchmarkSchedulerPushPop is the allocation budget of one schedule/dispatch
+// cycle, the cost every simulated packet pays several times per hop.
+func BenchmarkSchedulerPushPop(b *testing.B) {
+	s := NewScheduler(1)
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.At(s.Now()+time.Microsecond, fn)
+		s.Step()
+	}
+}
+
+// BenchmarkSchedulerCancel measures the schedule-then-cancel cycle that TCP
+// retransmission timers produce on every ACK (Timer.Reset churn).
+func BenchmarkSchedulerCancel(b *testing.B) {
+	s := NewScheduler(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := s.At(s.Now()+time.Second, func() {})
+		e.Cancel()
+		if i%64 == 0 {
+			// Keep the clock moving so the queue cannot grow without bound
+			// from the benchmark loop itself.
+			s.After(0, func() {})
+			s.Step()
+		}
+	}
+}
+
+// BenchmarkTimerResetChurn drives a Timer exactly the way a TCP connection
+// under steady ACK clocking does: every iteration re-arms the deadline,
+// orphaning the previous event in the queue.
+func BenchmarkTimerResetChurn(b *testing.B) {
+	s := NewScheduler(1)
+	t := NewTimer(s, func() {})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t.Reset(time.Second)
+		if i%64 == 0 {
+			s.After(0, func() {})
+			s.Step()
+		}
+	}
+	b.StopTimer()
+	if p := s.Pending(); p > b.N+2 {
+		b.Fatalf("queue bloat: %d pending after %d resets", p, b.N)
+	}
+}

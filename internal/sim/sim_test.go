@@ -171,6 +171,52 @@ func TestTimerResetAndStop(t *testing.T) {
 	}
 }
 
+func TestPendingExcludesCancelled(t *testing.T) {
+	s := NewScheduler(1)
+	live := s.At(time.Millisecond, func() {})
+	_ = live
+	e := s.At(2*time.Millisecond, func() {})
+	e.Cancel()
+	if got := s.Pending(); got != 1 {
+		t.Fatalf("Pending = %d with one live and one cancelled event, want 1", got)
+	}
+}
+
+func TestStaleHandleCancelIsNoOp(t *testing.T) {
+	s := NewScheduler(1)
+	stale := s.At(time.Millisecond, func() {})
+	s.Run() // fires the event; its node returns to the free list
+
+	// The free list must hand the same node to the next event.
+	fired := false
+	fresh := s.At(s.Now()+time.Millisecond, func() { fired = true })
+	stale.Cancel() // stale generation: must not cancel the new occupant
+	s.Run()
+	if !fired {
+		t.Fatal("stale Cancel killed an unrelated recycled event")
+	}
+	if fresh.Cancelled() != true {
+		t.Fatal("fired event should report Cancelled (will never fire again)")
+	}
+}
+
+func TestCompactionBoundsQueue(t *testing.T) {
+	s := NewScheduler(1)
+	// Simulate heavy Timer.Reset churn: schedule far-future events and
+	// immediately orphan them, never letting the clock advance past them.
+	const n = 100_000
+	for i := 0; i < n; i++ {
+		e := s.At(s.Now()+time.Hour, func() {})
+		e.Cancel()
+	}
+	if got := s.Pending(); got != 0 {
+		t.Fatalf("Pending = %d after cancelling everything, want 0", got)
+	}
+	if len(s.heap) > 1024 {
+		t.Fatalf("heap holds %d dead nodes after %d cancels; compaction failed", len(s.heap), n)
+	}
+}
+
 func TestDeterministicRand(t *testing.T) {
 	a := NewScheduler(42)
 	b := NewScheduler(42)

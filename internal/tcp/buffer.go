@@ -88,10 +88,14 @@ func (b *sendBuffer) endSeq() Seq { return b.base.Add(len(b.data)) }
 func (b *sendBuffer) len() int  { return len(b.data) }
 func (b *sendBuffer) free() int { return b.cap - len(b.data) }
 
-// oooRange is a received, not-yet-deposited run of bytes.
+// oooRange is a received, not-yet-deposited run of bytes. data initially
+// aliases the delivered segment's payload (which in turn aliases a pooled
+// fabric frame); owned marks ranges that have been copied into private
+// memory because they outlived the delivery event.
 type oooRange struct {
-	seq  Seq
-	data []byte
+	seq   Seq
+	data  []byte
+	owned bool
 }
 
 // receiver tracks the inbound stream: out-of-order (and deposit-gated)
@@ -158,6 +162,20 @@ func (r *receiver) insert(seq Seq, data []byte) bool {
 	r.pending = append(r.pending, oooRange{seq: seq, data: data})
 	sort.SliceStable(r.pending, func(i, j int) bool { return r.pending[i].seq.LT(r.pending[j].seq) })
 	return covered == 0
+}
+
+// privatize copies every pending range that still aliases the arriving
+// frame's payload. It runs once per segment arrival, after all synchronous
+// processing: the common case — an in-order segment deposited in the same
+// event — never pays for a copy, only out-of-order and deposit-gated
+// (ft-TCP) ranges that genuinely outlive the frame do.
+func (r *receiver) privatize() {
+	for i := range r.pending {
+		if !r.pending[i].owned {
+			r.pending[i].data = append([]byte(nil), r.pending[i].data...)
+			r.pending[i].owned = true
+		}
+	}
 }
 
 // contiguousEnd returns the highest sequence number reachable from rcvNxt

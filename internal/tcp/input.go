@@ -30,6 +30,10 @@ func (c *Conn) input(seg *Segment) {
 	default:
 		c.inputEstablished(seg)
 	}
+	// The segment payload aliases a fabric frame that is recycled as soon
+	// as this delivery event returns; any range still pending must become a
+	// private copy now.
+	c.rcv.privatize()
 }
 
 func (c *Conn) inputSynSent(seg *Segment) {

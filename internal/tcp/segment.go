@@ -89,15 +89,32 @@ var (
 	ErrSegBadChecksum = errors.New("tcp: checksum mismatch")
 )
 
+// WireLen returns the marshalled size of the segment: header, MSS option if
+// present, and payload.
+func (s *Segment) WireLen() int {
+	n := HeaderLen + len(s.Payload)
+	if s.MSS != 0 {
+		n += 4
+	}
+	return n
+}
+
 // Marshal builds the wire format, computing the checksum over the
 // pseudo-header given by src and dst.
 func (s *Segment) Marshal(src, dst ipv4.Addr) []byte {
-	optLen := 0
+	b := make([]byte, s.WireLen())
+	s.MarshalInto(b, src, dst)
+	return b
+}
+
+// MarshalInto serializes the segment into b, which must be exactly
+// WireLen() bytes (typically a pooled frame buffer that the IP layer will
+// prepend its header to).
+func (s *Segment) MarshalInto(b []byte, src, dst ipv4.Addr) {
+	hdrLen := HeaderLen
 	if s.MSS != 0 {
-		optLen = 4
+		hdrLen += 4
 	}
-	hdrLen := HeaderLen + optLen
-	b := make([]byte, hdrLen+len(s.Payload))
 	b[0] = byte(s.SrcPort >> 8)
 	b[1] = byte(s.SrcPort)
 	b[2] = byte(s.DstPort >> 8)
@@ -108,7 +125,10 @@ func (s *Segment) Marshal(src, dst ipv4.Addr) []byte {
 	b[13] = byte(s.Flags)
 	b[14] = byte(s.Window >> 8)
 	b[15] = byte(s.Window)
-	// b[16:18] checksum; b[18:20] urgent pointer (unused)
+	// Checksum (zero while summing) and urgent pointer (unused). Explicit
+	// stores: pooled buffers arrive with stale contents, unlike make().
+	b[16], b[17] = 0, 0
+	b[18], b[19] = 0, 0
 	if s.MSS != 0 {
 		b[20] = 2 // kind: MSS
 		b[21] = 4 // length
@@ -119,7 +139,6 @@ func (s *Segment) Marshal(src, dst ipv4.Addr) []byte {
 	sum := ipv4.PseudoChecksum(src, dst, ipv4.ProtoTCP, b)
 	b[16] = byte(sum >> 8)
 	b[17] = byte(sum)
-	return b
 }
 
 // UnmarshalSegment parses and validates a wire-format segment.

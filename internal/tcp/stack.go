@@ -319,15 +319,18 @@ func (s *Stack) sendRSTFor(local, remote Endpoint, seg *Segment) {
 	s.transmit(local, remote, rst)
 }
 
-// transmit marshals and sends a segment from local to remote.
+// transmit marshals and sends a segment from local to remote. The segment
+// marshals once, directly into a pooled frame buffer with IP headroom, so
+// the bytes written here are the bytes that cross the fabric.
 func (s *Stack) transmit(local, remote Endpoint, seg *Segment) {
 	if s.trace != nil {
 		s.trace("out", local, remote, seg)
 	}
 	s.stats.SegsOut++
-	b := seg.Marshal(local.Addr, remote.Addr)
+	fb := s.ip.Node().Pool().Get(seg.WireLen())
+	seg.MarshalInto(fb.Bytes(), local.Addr, remote.Addr)
 	// Errors (no route) surface as drops; TCP recovers by retransmission.
-	_ = s.ip.Send(ipv4.ProtoTCP, local.Addr, remote.Addr, b) //nolint:errcheck
+	_ = s.ip.SendSegment(ipv4.ProtoTCP, local.Addr, remote.Addr, fb) //nolint:errcheck
 }
 
 func (s *Stack) removeConn(c *Conn) {

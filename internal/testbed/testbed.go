@@ -112,9 +112,34 @@ var ServiceAddr = hydranet.MustAddr("192.20.225.20")
 // ServicePort is the replicated TCP port.
 const ServicePort = 5001 // ttcp's traditional port
 
+// RunInfo reports the execution cost of one testbed run, for tracking the
+// simulator's own performance (events/sec is the core metric the fast path
+// optimizes).
+type RunInfo struct {
+	Events uint64        // scheduler events fired
+	Frames uint64        // fabric frames sent, summed over all nodes
+	Wall   time.Duration // host wall-clock time for the run
+}
+
+// RunMeasured is Run plus execution metrics.
+func RunMeasured(cfg Config) (ttcp.Result, RunInfo) {
+	start := time.Now()
+	result, net := run(cfg)
+	info := RunInfo{Wall: time.Since(start), Events: net.Scheduler().Fired()}
+	for _, h := range net.Snapshot().Hosts {
+		info.Frames += h.Frames.Sent
+	}
+	return result, info
+}
+
 // Run executes one ttcp transfer in the given configuration and returns
 // the client-side result.
 func Run(cfg Config) ttcp.Result {
+	result, _ := run(cfg)
+	return result
+}
+
+func run(cfg Config) (ttcp.Result, *hydranet.Net) {
 	if cfg.TotalBytes == 0 {
 		cfg.TotalBytes = 512 * 1024
 	}
@@ -239,7 +264,7 @@ func Run(cfg Config) ttcp.Result {
 	for !done && net.Now() < deadline {
 		net.RunFor(time.Second)
 	}
-	return result
+	return result, net
 }
 
 // Figure4Sizes are the paper's x-axis write sizes.

@@ -35,13 +35,21 @@ var (
 // addresses for the pseudo-header.
 func Marshal(src, dst ipv4.Addr, srcPort, dstPort uint16, payload []byte) []byte {
 	b := make([]byte, HeaderLen+len(payload))
+	MarshalInto(b, src, dst, srcPort, dstPort, payload)
+	return b
+}
+
+// MarshalInto serializes a UDP datagram into b, which must be exactly
+// HeaderLen+len(payload) bytes (typically a pooled frame buffer).
+func MarshalInto(b []byte, src, dst ipv4.Addr, srcPort, dstPort uint16, payload []byte) {
 	b[0] = byte(srcPort >> 8)
 	b[1] = byte(srcPort)
 	b[2] = byte(dstPort >> 8)
 	b[3] = byte(dstPort)
-	total := len(b)
+	total := HeaderLen + len(payload)
 	b[4] = byte(total >> 8)
 	b[5] = byte(total)
+	b[6], b[7] = 0, 0 // checksum, zero while summing
 	copy(b[HeaderLen:], payload)
 	sum := ipv4.PseudoChecksum(src, dst, ipv4.ProtoUDP, b)
 	if sum == 0 {
@@ -49,7 +57,6 @@ func Marshal(src, dst ipv4.Addr, srcPort, dstPort uint16, payload []byte) []byte
 	}
 	b[6] = byte(sum >> 8)
 	b[7] = byte(sum)
-	return b
 }
 
 // Unmarshal parses and validates a UDP datagram.
@@ -139,8 +146,9 @@ func (s *Stack) SendTo(srcAddr ipv4.Addr, srcPort uint16, dst Endpoint, payload 
 	if srcAddr == 0 {
 		srcAddr = s.localSourceFor(dst.Addr)
 	}
-	seg := Marshal(srcAddr, dst.Addr, srcPort, dst.Port, payload)
-	return s.ip.Send(ipv4.ProtoUDP, srcAddr, dst.Addr, seg)
+	fb := s.ip.Node().Pool().Get(HeaderLen + len(payload))
+	MarshalInto(fb.Bytes(), srcAddr, dst.Addr, srcPort, dst.Port, payload)
+	return s.ip.SendSegment(ipv4.ProtoUDP, srcAddr, dst.Addr, fb)
 }
 
 func (s *Stack) localSourceFor(dst ipv4.Addr) ipv4.Addr {
