@@ -35,16 +35,31 @@ func main() {
 	loss := flag.Float64("loss", 0, "link loss probability (for false-positive measurement)")
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON instead of the table")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "worker threads (each threshold is an independent simulation)")
+	pcapPrefix := flag.String("pcap", "", "capture each run to PREFIX-t<threshold>.pcap")
+	flightPrefix := flag.String("flight", "", "flight-record each run; dump PREFIX-t<threshold>.{pcap,json} when the failover probe fires")
+	spansPrefix := flag.String("spans", "", "write each run's ft-TCP span timeline to PREFIX-t<threshold>.json")
 	flag.Parse()
 
 	thresholds := []int{1, 2, 3, 4, 6, 8}
 	rows := sweep.Map(*parallel, len(thresholds), func(i int) row {
-		res := testbed.MeasureFailover(testbed.FailoverConfig{
+		cfg := testbed.FailoverConfig{
 			Threshold: thresholds[i],
 			Backups:   *backups,
 			Seed:      *seed,
 			Loss:      *loss,
-		})
+		}
+		// One capture file set per threshold: the sweep runs each threshold
+		// as an independent simulation, possibly in parallel.
+		if *pcapPrefix != "" {
+			cfg.PcapPath = fmt.Sprintf("%s-t%d.pcap", *pcapPrefix, thresholds[i])
+		}
+		if *flightPrefix != "" {
+			cfg.FlightPrefix = fmt.Sprintf("%s-t%d", *flightPrefix, thresholds[i])
+		}
+		if *spansPrefix != "" {
+			cfg.SpansPath = fmt.Sprintf("%s-t%d.json", *spansPrefix, thresholds[i])
+		}
+		res := testbed.MeasureFailover(cfg)
 		r := row{
 			Threshold:      thresholds[i],
 			DetectMS:       res.Detected.Seconds() * 1000,

@@ -67,6 +67,9 @@ func main() {
 	perf := flag.Bool("perf", false, "report simulator performance (events/sec, frames/sec, wall time)")
 	statsJSON := flag.String("stats-json", "", "write the final snapshot as JSON to this file (\"-\" = stdout)")
 	traceSegs := flag.Int("trace", 0, "emit up to N tcpdump-style segment trace lines")
+	pcapPath := flag.String("pcap", "", "capture every frame (plus pre-encap tunnel copies) to this pcap file")
+	flightPrefix := flag.String("flight", "", "run a flight recorder; dump PREFIX.pcap/PREFIX.json on failover (or at the end)")
+	spansPath := flag.String("spans", "", "write the per-connection ft-TCP span timeline as JSON to this file (\"-\" = stdout)")
 	flag.Parse()
 
 	if *events == "list" {
@@ -118,6 +121,38 @@ func main() {
 		bus.Subscribe(func(e hydranet.Event) { fmt.Println(e) }, watched...)
 	}
 	probe := net.NewFailoverProbe()
+
+	// Capture subsystems attach after the topology is final (taps cover
+	// every link and redirector) and before any traffic, registration
+	// included, hits the wire.
+	var capt *hydranet.Capture
+	var pcapFile *os.File
+	if *pcapPath != "" {
+		f, err := os.Create(*pcapPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hydranet-sim: -pcap: %v\n", err)
+			os.Exit(1)
+		}
+		pcapFile = f
+		if capt, err = net.StartCapture(f); err != nil {
+			fmt.Fprintf(os.Stderr, "hydranet-sim: -pcap: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	var flight *hydranet.FlightRecorder
+	if *flightPrefix != "" {
+		flight = net.StartFlightRecorder(0, 0)
+		flight.DumpOnFailover(probe, *flightPrefix)
+	}
+	var spans *hydranet.SpanCollector
+	if *spansPath != "" || *stats {
+		spans = net.NewSpanCollector()
+	}
+	var kindCounts []uint64
+	if *stats {
+		kindCounts = make([]uint64, len(obs.Kinds()))
+		bus.Subscribe(func(e hydranet.Event) { kindCounts[e.Kind]++ })
+	}
 
 	logf := func(format string, args ...any) {
 		fmt.Printf("%10s  %s\n", net.Now().Round(time.Microsecond), fmt.Sprintf(format, args...))
@@ -221,6 +256,51 @@ func main() {
 
 	wall := time.Since(wallStart)
 
+	if capt != nil {
+		if err := capt.Err(); err != nil {
+			fmt.Fprintf(os.Stderr, "hydranet-sim: -pcap: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pcapFile.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "hydranet-sim: -pcap: %v\n", err)
+			os.Exit(1)
+		}
+		logf("pcap: %d records (%d pre-encap inner copies) written to %s",
+			capt.Packets(), capt.InnerPackets(), *pcapPath)
+	}
+	if flight != nil {
+		if flight.Dumps() == 0 {
+			if err := flight.Dump(*flightPrefix); err != nil {
+				fmt.Fprintf(os.Stderr, "hydranet-sim: -flight: %v\n", err)
+				os.Exit(1)
+			}
+			logf("flight recorder dumped at end of run to %s.pcap / %s.json", *flightPrefix, *flightPrefix)
+		} else {
+			logf("flight recorder dumped on failover to %s.pcap / %s.json", *flightPrefix, *flightPrefix)
+		}
+	}
+	if spans != nil && *spansPath != "" {
+		if *spansPath == "-" {
+			if err := spans.WriteJSON(os.Stdout); err != nil {
+				fmt.Fprintf(os.Stderr, "hydranet-sim: -spans: %v\n", err)
+				os.Exit(1)
+			}
+		} else {
+			f, err := os.Create(*spansPath)
+			if err == nil {
+				err = spans.WriteJSON(f)
+				if cerr := f.Close(); err == nil {
+					err = cerr
+				}
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "hydranet-sim: -spans: %v\n", err)
+				os.Exit(1)
+			}
+			logf("span timeline written to %s", *spansPath)
+		}
+	}
+
 	snap := net.Snapshot()
 	if report.CrashAt > 0 {
 		snap.Failover = &report
@@ -240,6 +320,20 @@ func main() {
 	}
 	if *stats {
 		printSnapshot(snap)
+		fmt.Println("  event counts:")
+		for k, c := range kindCounts {
+			if c > 0 {
+				fmt.Printf("    %-16s %8d\n", obs.Kind(k), c)
+			}
+		}
+		if spans != nil {
+			if lag := spans.AckChainLag(); lag.Count > 0 {
+				fmt.Printf("  ack-chain lag (ms):  %s\n", lag)
+			}
+			if stall := spans.DepositStall(); stall.Count > 0 {
+				fmt.Printf("  deposit stall (ms):  %s\n", stall)
+			}
+		}
 	}
 	if *statsJSON != "" {
 		out, err := snap.JSON()

@@ -1,0 +1,82 @@
+// Command pcapcheck validates pcap files with the repo's own reader — the
+// golden check CI runs on captures emitted by hydranet-sim, so the format
+// stays Wireshark-compatible without external tooling in the loop. For each
+// file it verifies the global header, walks every record, checks timestamps
+// are nondecreasing and every first-fragment record parses as IPv4, and
+// prints a one-line summary of what was on the wire.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"hydranet/internal/capture"
+	"hydranet/internal/ipv4"
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: pcapcheck FILE...\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	failed := false
+	for _, path := range flag.Args() {
+		if err := check(path); err != nil {
+			fmt.Fprintf(os.Stderr, "pcapcheck: %s: %v\n", path, err)
+			failed = true
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+func check(path string) error {
+	f, err := capture.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if f.LinkType != capture.LinkTypeRaw {
+		return fmt.Errorf("linktype %d, want %d (LINKTYPE_RAW)", f.LinkType, capture.LinkTypeRaw)
+	}
+	var tcp, udp, ipip, innerTCP, frags int
+	last := time.Duration(-1)
+	for i, r := range f.Records {
+		if r.Ts < last {
+			return fmt.Errorf("record %d: timestamp %v before predecessor %v", i, r.Ts, last)
+		}
+		last = r.Ts
+		if len(r.Data) < ipv4.HeaderLen || r.Data[0]>>4 != 4 {
+			return fmt.Errorf("record %d: not an IPv4 packet", i)
+		}
+		if fragOffset := (int(r.Data[6])<<8 | int(r.Data[7])) & 0x1fff; fragOffset != 0 {
+			frags++ // continuation of a fragmented packet: no header inside
+			continue
+		}
+		switch r.Data[9] {
+		case ipv4.ProtoTCP:
+			tcp++
+		case ipv4.ProtoUDP:
+			udp++
+		case ipv4.ProtoIPIP:
+			ipip++
+			inner := r.Data[ipv4.HeaderLen:]
+			if len(inner) < ipv4.HeaderLen || inner[0]>>4 != 4 {
+				return fmt.Errorf("record %d: IP-in-IP payload is not IPv4", i)
+			}
+			if inner[9] == ipv4.ProtoTCP {
+				innerTCP++
+			}
+		}
+	}
+	fmt.Printf("%s: %d records ok — %d tcp, %d udp, %d ipip (%d wrapping tcp), %d fragment continuations\n",
+		path, len(f.Records), tcp, udp, ipip, innerTCP, frags)
+	return nil
+}

@@ -65,6 +65,7 @@ func main() {
 	repeat := flag.Int("repeat", 1, "seeds per point (mean ± std when > 1)")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "worker threads (1 = serial; also enables allocs/op in -json)")
 	jsonPath := flag.String("json", "", "write machine-readable results to this file")
+	pcapPath := flag.String("pcap", "", "additionally capture one primary-and-backup run (1024-byte writes) to this pcap file")
 	flag.Parse()
 
 	fmt.Printf("ttcp throughput measurements for HydraNet-FT (Figure 4)\n")
@@ -158,6 +159,22 @@ func main() {
 	fmt.Print(table)
 	fmt.Println("\nthroughput in kBytes/sec; rows correspond to the paper's x-axis")
 	fmt.Printf("swept %d runs in %v\n", len(jobs), wall.Round(time.Millisecond))
+
+	if *pcapPath != "" {
+		// One extra, dedicated capture run: capturing inside the sweep
+		// would cost every measurement point pcap I/O and produce a file
+		// per job. The full-FT 1024-byte configuration is the most
+		// interesting one on the wire (tunnel copies plus the ack chain).
+		res := testbed.Run(testbed.Config{
+			Case: testbed.CasePrimaryBackup, BufLen: 1024, TotalBytes: *total,
+			Seed: *seed, Backups: *backups, PcapPath: *pcapPath,
+		})
+		if res.Err != nil {
+			fmt.Fprintln(os.Stderr, "ttcpbench: capture run:", res.Err)
+			os.Exit(1)
+		}
+		fmt.Printf("captured primary-and-backup run (1024-byte writes) to %s\n", *pcapPath)
+	}
 
 	if *jsonPath != "" {
 		bf := benchFile{

@@ -112,6 +112,12 @@ type Net struct {
 	redirectors []*Redirector
 	links       []linkInfo
 	nextSubnet  byte
+
+	// Capture taps registered via StartCapture/StartFlightRecorder; see
+	// capture.go. Kept here so multiple consumers can share the fabric's
+	// single tap slot.
+	frameTaps []netsim.FrameTap
+	encapTaps []redirector.EncapTap
 }
 
 type linkInfo struct {

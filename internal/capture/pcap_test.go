@@ -1,0 +1,175 @@
+package capture
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestPcapGoldenHeader pins the exact on-disk bytes of the global header and
+// one record header, so a regression in the writer is caught without any
+// external tooling: this IS the format Wireshark parses.
+func TestPcapGoldenHeader(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := []byte{
+		0x4d, 0x3c, 0xb2, 0xa1, // magic 0xa1b23c4d, little-endian (nanosecond)
+		0x02, 0x00, 0x04, 0x00, // version 2.4
+		0x00, 0x00, 0x00, 0x00, // thiszone
+		0x00, 0x00, 0x00, 0x00, // sigfigs
+		0xff, 0xff, 0x00, 0x00, // snaplen 65535
+		0x65, 0x00, 0x00, 0x00, // linktype 101 = LINKTYPE_RAW
+	}
+	if !bytes.Equal(buf.Bytes(), golden) {
+		t.Fatalf("global header:\n got %x\nwant %x", buf.Bytes(), golden)
+	}
+
+	payload := []byte{0x45, 0x00, 0x00, 0x04}
+	if err := w.WritePacket(1500*time.Millisecond, payload); err != nil {
+		t.Fatal(err)
+	}
+	rec := buf.Bytes()[fileHeaderLen:]
+	goldenRec := []byte{
+		0x01, 0x00, 0x00, 0x00, // ts_sec = 1
+		0x00, 0x65, 0xcd, 0x1d, // ts_nsec = 500_000_000
+		0x04, 0x00, 0x00, 0x00, // incl_len = 4
+		0x04, 0x00, 0x00, 0x00, // orig_len = 4
+	}
+	if !bytes.Equal(rec[:recordHeaderLen], goldenRec) {
+		t.Fatalf("record header:\n got %x\nwant %x", rec[:recordHeaderLen], goldenRec)
+	}
+	if !bytes.Equal(rec[recordHeaderLen:], payload) {
+		t.Fatalf("record data = %x, want %x", rec[recordHeaderLen:], payload)
+	}
+}
+
+func TestPcapWriterReaderRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type pkt struct {
+		ts   time.Duration
+		data []byte
+	}
+	pkts := []pkt{
+		{0, []byte{0x45}},
+		{123456789 * time.Nanosecond, bytes.Repeat([]byte{0xab}, 1500)},
+		{2*time.Second + 1, []byte{1, 2, 3}},
+	}
+	for _, p := range pkts {
+		if err := w.WritePacket(p.ts, p.data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Packets() != uint64(len(pkts)) || w.Truncated() != 0 || w.Err() != nil {
+		t.Fatalf("writer counters: packets=%d truncated=%d err=%v",
+			w.Packets(), w.Truncated(), w.Err())
+	}
+
+	f, err := ReadAll(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.Nanos || f.LinkType != LinkTypeRaw || f.SnapLen != DefaultSnapLen {
+		t.Fatalf("file header parsed as %+v", f)
+	}
+	if len(f.Records) != len(pkts) {
+		t.Fatalf("read %d records, want %d", len(f.Records), len(pkts))
+	}
+	for i, r := range f.Records {
+		if r.Ts != pkts[i].ts {
+			t.Errorf("record %d ts = %v, want %v", i, r.Ts, pkts[i].ts)
+		}
+		if r.OrigLen != len(pkts[i].data) || !bytes.Equal(r.Data, pkts[i].data) {
+			t.Errorf("record %d data mismatch (orig %d, got %d bytes)",
+				i, r.OrigLen, len(r.Data))
+		}
+	}
+}
+
+func TestPcapSnapLenTruncates(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WritePacket(0, make([]byte, 200)); err != nil {
+		t.Fatal(err)
+	}
+	if w.Truncated() != 1 {
+		t.Fatalf("Truncated = %d, want 1", w.Truncated())
+	}
+	f, err := ReadAll(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Records) != 1 || len(f.Records[0].Data) != 100 || f.Records[0].OrigLen != 200 {
+		t.Fatalf("truncated record parsed as %+v", f.Records)
+	}
+}
+
+func TestPcapReaderRejectsGarbage(t *testing.T) {
+	bad := make([]byte, fileHeaderLen)
+	if _, err := ReadAll(bytes.NewReader(bad)); err == nil || !strings.Contains(err.Error(), "magic") {
+		t.Fatalf("bad magic: err = %v", err)
+	}
+
+	// Right magic, wrong version.
+	var buf bytes.Buffer
+	if _, err := NewWriter(&buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	hdr := buf.Bytes()
+	hdr[4] = 3 // version major
+	if _, err := ReadAll(bytes.NewReader(hdr)); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("bad version: err = %v", err)
+	}
+
+	// A record claiming more bytes than the snaplen allows.
+	buf.Reset()
+	w, _ := NewWriter(&buf, 64)
+	if err := w.WritePacket(0, make([]byte, 32)); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	raw[fileHeaderLen+8] = 0xff // incl_len low byte -> 255 > snaplen 64
+	if _, err := ReadAll(bytes.NewReader(raw)); err == nil || !strings.Contains(err.Error(), "snaplen") {
+		t.Fatalf("oversized incl_len: err = %v", err)
+	}
+}
+
+// errAfter fails every write past the first n.
+type errAfter struct {
+	n int
+}
+
+func (e *errAfter) Write(p []byte) (int, error) {
+	if e.n <= 0 {
+		return 0, bytes.ErrTooLarge
+	}
+	e.n--
+	return len(p), nil
+}
+
+func TestPcapWriterStickyError(t *testing.T) {
+	w, err := NewWriter(&errAfter{n: 2}, 0) // header + one record header succeed
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WritePacket(0, []byte{1}); err == nil {
+		t.Fatal("write into failing sink succeeded")
+	}
+	first := w.Err()
+	if err := w.WritePacket(0, []byte{2}); err != first {
+		t.Fatalf("second write error %v, want sticky %v", err, first)
+	}
+	if w.Packets() != 0 {
+		t.Fatalf("failed writes counted: %d", w.Packets())
+	}
+}

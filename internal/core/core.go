@@ -199,7 +199,7 @@ func (m *Manager) onChainDatagram(_ udp.Endpoint, _ ipv4.Addr, payload []byte) {
 		b.Publish(obs.Event{
 			Kind: obs.KindChainRecv, Node: m.nodeName(),
 			Service: msg.Service.String(), Conn: msg.Client.String(),
-			Seq: uint64(msg.SndNxt),
+			Seq: uint64(msg.SndNxt), Ack: uint64(msg.RcvNxt),
 		})
 	}
 	p := m.ports[msg.Service]
@@ -471,7 +471,7 @@ func (fc *ftConn) sendChainMsg(sndNxt, rcvNxt tcp.Seq) {
 		b.Publish(obs.Event{
 			Kind: obs.KindChainSend, Node: p.mgr.nodeName(),
 			Service: p.svc.String(), Conn: msg.Client.String(),
-			Seq: uint64(sndNxt),
+			Seq: uint64(sndNxt), Ack: uint64(rcvNxt),
 		})
 	}
 	// Send errors mean no route to the predecessor — the chain is broken

@@ -1,6 +1,9 @@
 package metrics
 
-import "math/bits"
+import (
+	"fmt"
+	"math/bits"
+)
 
 // Histogram is a log-bucketed (base-2) histogram for non-negative,
 // latency-like samples. Bucket 0 covers [0,1); bucket i (i ≥ 1) covers
@@ -148,6 +151,16 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 		s.Buckets = append(s.Buckets, HistogramBucket{Lo: lo, Hi: hi, Count: c})
 	}
 	return s
+}
+
+// String renders the snapshot's headline statistics on one line, in the
+// histogram's native unit — handy for -stats style CLI output.
+func (s HistogramSnapshot) String() string {
+	if s.Count == 0 {
+		return "n=0"
+	}
+	return fmt.Sprintf("n=%d mean=%.2f p50=%.2f p90=%.2f p99=%.2f max=%.2f",
+		s.Count, s.Mean, s.P50, s.P90, s.P99, s.Max)
 }
 
 // Diff returns the interval histogram: the samples observed since prev was

@@ -26,6 +26,14 @@ type FrameHandler interface {
 	HandleFrame(ifindex int, frame []byte)
 }
 
+// FrameTap observes every frame the fabric accepts for transmission, on
+// every link and in both directions. It runs synchronously at the instant
+// the frame clears the sender's transmit queue (post loss/queue-drop, so a
+// tap sees exactly the frames that will reach the far end). The data slice
+// aliases a pooled frame buffer owned by the fabric: it is valid only for
+// the duration of the call, and a tap that retains bytes must copy them.
+type FrameTap func(from, to *Node, data []byte)
+
 // Network is a collection of nodes and links sharing one scheduler.
 type Network struct {
 	sched *sim.Scheduler
@@ -33,6 +41,7 @@ type Network struct {
 	links []*Link
 	bus   *obs.Bus
 	pool  *frame.Pool
+	tap   FrameTap
 }
 
 // New returns an empty network driven by the given scheduler.
@@ -49,6 +58,10 @@ func (n *Network) Pool() *frame.Pool { return n.pool }
 // and crash/restart events on it. A nil bus (the default) disables all
 // emission.
 func (n *Network) SetBus(b *obs.Bus) { n.bus = b }
+
+// SetFrameTap installs (or, with nil, removes) the network-wide frame tap.
+// The disabled cost is a single pointer test on the link transmit path.
+func (n *Network) SetFrameTap(t FrameTap) { n.tap = t }
 
 // Scheduler returns the scheduler driving this network.
 func (n *Network) Scheduler() *sim.Scheduler { return n.sched }
@@ -371,6 +384,9 @@ func (l *Link) transmit(side int, fb *frame.Buf) {
 	l.txFree[side] = done
 	dst := l.ends[1-side]
 	l.txFrames[side]++
+	if tap := l.net.tap; tap != nil {
+		tap(l.ends[side].node, dst.node, fb.Bytes())
+	}
 	// The frame leaves the transmit queue once serialized; propagation
 	// happens "on the wire" and does not hold queue space.
 	s.At(done, func() { l.backlog[side] -= size })

@@ -33,6 +33,8 @@ const (
 	KindRetransmit     // data segment retransmitted
 	KindRTO            // retransmission timeout fired
 	KindFastRetransmit // triple-duplicate-ACK recovery entered
+	KindDeposit        // receive buffer deposited bytes to the application
+	KindAckProgress    // cumulative ACK advanced the send window
 
 	// redirector.
 	KindMulticast   // FT fan-out: one client packet copied to the replica set
@@ -66,6 +68,8 @@ var kindNames = [numKinds]string{
 	KindRetransmit:     "retransmit",
 	KindRTO:            "rto",
 	KindFastRetransmit: "fast-retransmit",
+	KindDeposit:        "deposit",
+	KindAckProgress:    "ack-progress",
 	KindMulticast:      "multicast",
 	KindRedirect:       "redirect",
 	KindTunnelError:    "tunnel-error",
@@ -119,6 +123,7 @@ type Event struct {
 	Service string        `json:"service,omitempty"` // service addr:port
 	Conn    string        `json:"conn,omitempty"`    // remote/client endpoint
 	Seq     uint64        `json:"seq,omitempty"`     // sequence-number detail
+	Ack     uint64        `json:"ack,omitempty"`     // acknowledgment-number detail
 	Size    int           `json:"size,omitempty"`    // bytes or copy count
 	Detail  string        `json:"detail,omitempty"`  // free-form extra
 }
@@ -138,6 +143,9 @@ func (e Event) Text() string {
 	}
 	if e.Seq != 0 {
 		fmt.Fprintf(&b, " seq=%d", e.Seq)
+	}
+	if e.Ack != 0 {
+		fmt.Fprintf(&b, " ack=%d", e.Ack)
 	}
 	if e.Size != 0 {
 		fmt.Fprintf(&b, " size=%d", e.Size)

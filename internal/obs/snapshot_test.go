@@ -1,0 +1,90 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// TestSnapshotDiffMgmtCounters: interval diffs must cover the redirector's
+// management-daemon counters field by field, including the corner cases —
+// a previous snapshot taken before the daemon existed (nil Mgmt) and a
+// redirector with no match in the previous snapshot at all.
+func TestSnapshotDiffMgmtCounters(t *testing.T) {
+	prev := Snapshot{
+		Time: time.Second,
+		Redirectors: []RedirectorSnapshot{{
+			Name:  "rd",
+			Table: RedirectorCounters{Redirected: 10, Multicast: 5, MulticastCopies: 15},
+			Mgmt: &MgmtCounters{
+				Registrations: 3, Leaves: 1, Suspicions: 2, ProbesSent: 20,
+				HostsFailed: 1, Reconfigs: 1, CongestionEvictions: 0, LeaseExpirations: 4,
+			},
+		}},
+	}
+	cur := Snapshot{
+		Time: 3 * time.Second,
+		Redirectors: []RedirectorSnapshot{
+			{
+				Name:  "rd",
+				Table: RedirectorCounters{Redirected: 25, Multicast: 12, MulticastCopies: 36},
+				Mgmt: &MgmtCounters{
+					Registrations: 4, Leaves: 1, Suspicions: 5, ProbesSent: 32,
+					HostsFailed: 2, Reconfigs: 3, CongestionEvictions: 1, LeaseExpirations: 4,
+				},
+			},
+			{
+				Name: "rd2", // no previous entry: passes through unchanged
+				Mgmt: &MgmtCounters{Registrations: 7},
+			},
+		},
+	}
+
+	d := cur.Diff(prev)
+	if d.Time != 2*time.Second {
+		t.Fatalf("diff time = %v, want 2s", d.Time)
+	}
+	if len(d.Redirectors) != 2 {
+		t.Fatalf("diff redirectors = %d, want 2", len(d.Redirectors))
+	}
+	rd := d.Redirectors[0]
+	if rd.Table != (RedirectorCounters{Redirected: 15, Multicast: 7, MulticastCopies: 21}) {
+		t.Errorf("table diff = %+v", rd.Table)
+	}
+	wantMgmt := MgmtCounters{
+		Registrations: 1, Leaves: 0, Suspicions: 3, ProbesSent: 12,
+		HostsFailed: 1, Reconfigs: 2, CongestionEvictions: 1, LeaseExpirations: 0,
+	}
+	if rd.Mgmt == nil || *rd.Mgmt != wantMgmt {
+		t.Errorf("mgmt diff = %+v, want %+v", rd.Mgmt, wantMgmt)
+	}
+	if rd2 := d.Redirectors[1]; rd2.Mgmt == nil || rd2.Mgmt.Registrations != 7 {
+		t.Errorf("unmatched redirector not passed through: %+v", rd2)
+	}
+}
+
+// TestSnapshotDiffMgmtNilPrev: the daemon started between the two snapshots
+// — the previous Mgmt is nil and the diff must equal the current values.
+func TestSnapshotDiffMgmtNilPrev(t *testing.T) {
+	prev := Snapshot{
+		Time:        time.Second,
+		Redirectors: []RedirectorSnapshot{{Name: "rd"}}, // Mgmt nil
+	}
+	cur := Snapshot{
+		Time: 2 * time.Second,
+		Redirectors: []RedirectorSnapshot{{
+			Name: "rd",
+			Mgmt: &MgmtCounters{Registrations: 6, ProbesSent: 9, Reconfigs: 2},
+		}},
+	}
+	d := cur.Diff(prev)
+	rd := d.Redirectors[0]
+	if rd.Mgmt == nil || *rd.Mgmt != (MgmtCounters{Registrations: 6, ProbesSent: 9, Reconfigs: 2}) {
+		t.Fatalf("nil-prev mgmt diff = %+v", rd.Mgmt)
+	}
+
+	// And the inverse: the daemon stopped reporting. Current nil stays nil.
+	d2 := prev.Diff(cur)
+	if d2.Redirectors[0].Mgmt != nil {
+		t.Fatalf("nil-current mgmt produced a diff: %+v", d2.Redirectors[0].Mgmt)
+	}
+}

@@ -63,6 +63,13 @@ type Stats struct {
 	TunnelErrors    uint64 // copies dropped for lack of a route
 }
 
+// EncapTap observes each packet the redirector tunnels, just before
+// encapsulation: inner is the intercepted (pre-encap) packet and host the
+// tunnel destination. The packet's Payload/Wire slices alias the fabric's
+// frame buffer — valid only during the call, copy to retain. The tap sees
+// one call per tunnel copy (so an FT multicast to N replicas taps N times).
+type EncapTap func(inner *ipv4.Packet, host ipv4.Addr)
+
 // Redirector attaches to a forwarding IP stack and owns its redirector
 // table.
 type Redirector struct {
@@ -70,6 +77,7 @@ type Redirector struct {
 	table map[ServiceKey]*Entry
 	stats Stats
 	bus   *obs.Bus
+	tap   EncapTap
 }
 
 // New installs a redirector on the given stack. The stack must have
@@ -89,6 +97,10 @@ func (r *Redirector) Stats() Stats { return r.stats }
 // SetBus attaches an observability event bus for multicast, redirect and
 // tunnel-error events. A nil bus (the default) disables all emission.
 func (r *Redirector) SetBus(b *obs.Bus) { r.bus = b }
+
+// SetEncapTap installs (or, with nil, removes) the encap-path tap. The
+// disabled cost is one pointer test per tunnel copy.
+func (r *Redirector) SetEncapTap(t EncapTap) { r.tap = t }
 
 func (r *Redirector) nodeName() string { return r.ip.Node().Name() }
 
@@ -211,11 +223,29 @@ func (r *Redirector) intercept(p *ipv4.Packet) bool {
 		r.stats.Multicast++
 		replicas := e.replicas()
 		if b := r.bus; b.Enabled(obs.KindMulticast) {
-			b.Publish(obs.Event{
+			// Conn identifies the client flow and Seq carries the raw TCP
+			// sequence number: because ft-TCP derives the ISS from the
+			// 4-tuple, the same raw seq names the same client byte at every
+			// replica, which is what lets the span collector correlate this
+			// multicast with downstream deposit/ack events.
+			ev := obs.Event{
 				Kind: obs.KindMulticast, Node: r.nodeName(),
 				Service: ServiceKey{Addr: p.Dst, Port: dstPort}.String(),
 				Size:    len(replicas),
-			})
+			}
+			srcPort := uint16(p.Payload[0])<<8 | uint16(p.Payload[1])
+			ev.Conn = fmt.Sprintf("%s:%d", p.Src, srcPort)
+			if p.Proto == ipv4.ProtoTCP && len(p.Payload) >= 13 {
+				// Seq is stamped only on data-bearing segments: spans track
+				// client byte ranges, and pure ACKs would otherwise pre-claim
+				// the next data segment's sequence number.
+				dataOff := int(p.Payload[12]>>4) * 4
+				if dataOff >= 20 && len(p.Payload) > dataOff {
+					ev.Seq = uint64(uint32(p.Payload[4])<<24 | uint32(p.Payload[5])<<16 |
+						uint32(p.Payload[6])<<8 | uint32(p.Payload[7]))
+				}
+			}
+			b.Publish(ev)
 		}
 		for _, host := range replicas {
 			r.tunnel(p, host)
@@ -254,6 +284,9 @@ func nearest(targets []Target) *Target {
 // the MTU: one copy into a pooled buffer, TTL patched incrementally, outer
 // header prepended in place.
 func (r *Redirector) tunnel(inner *ipv4.Packet, host ipv4.Addr) {
+	if tap := r.tap; tap != nil {
+		tap(inner, host)
+	}
 	if err := r.ip.SendEncap(inner, host); err != nil {
 		r.noteTunnelError(host, err.Error())
 	}

@@ -207,6 +207,16 @@ func (c *Conn) processAck(seg *Segment) {
 			c.finAcked()
 		}
 		c.armRTX()
+		if b := c.stack.bus; b.Enabled(obs.KindAckProgress) {
+			// Seq is the new cumulative ACK point. On the client side of an
+			// ft-TCP connection this is the moment the primary's ACK — the
+			// end of the multicast→deposit→ack chain — became visible.
+			b.Publish(obs.Event{
+				Kind: obs.KindAckProgress, Node: c.stack.nodeName(),
+				Service: c.local.String(), Conn: c.remote.String(),
+				Seq: uint64(uint32(ack)), Size: acked,
+			})
+		}
 		if c.hooks.OnAckProgress != nil {
 			c.hooks.OnAckProgress()
 		}
@@ -289,6 +299,17 @@ func (c *Conn) depositAndAck() {
 	n := c.rcv.depositUpTo(limit)
 	if n > 0 {
 		c.stats.BytesReceived += uint64(n)
+		if b := c.stack.bus; b.Enabled(obs.KindDeposit) {
+			// Seq is the post-deposit cursor: every byte below it has been
+			// handed to the application. Span collectors use it to place
+			// the deposit instant of each multicast span, and its gating
+			// behaviour is the inbound-atomicity rule made visible.
+			b.Publish(obs.Event{
+				Kind: obs.KindDeposit, Node: c.stack.nodeName(),
+				Service: c.local.String(), Conn: c.remote.String(),
+				Seq: uint64(uint32(c.rcv.rcvNxt)), Size: n,
+			})
+		}
 	}
 	finConsumed := false
 	if c.rcv.finReady() {

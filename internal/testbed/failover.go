@@ -1,6 +1,7 @@
 package testbed
 
 import (
+	"os"
 	"time"
 
 	"hydranet"
@@ -29,6 +30,15 @@ type FailoverConfig struct {
 	// NoCrash keeps every host alive: the run measures detector false
 	// positives (suspicions and wrongful reconfigurations) only.
 	NoCrash bool
+	// PcapPath, if set, captures every frame of the run (including the
+	// redirector's pre-encap tunnel copies) to this pcap file.
+	PcapPath string
+	// FlightPrefix, if set, runs a flight recorder dumped to
+	// FlightPrefix.pcap/.json when the failover probe fires (or at the end
+	// of the run if it never does).
+	FlightPrefix string
+	// SpansPath, if set, writes the per-connection span timeline JSON here.
+	SpansPath string
 }
 
 // FailoverResult reports what happened.
@@ -81,6 +91,31 @@ func MeasureFailover(cfg FailoverConfig) FailoverResult {
 		}
 	}
 	net.AutoRoute()
+
+	// Capture subsystems attach after the topology is final, before any
+	// traffic (registration included) hits the wire.
+	var pcapFile *os.File
+	if cfg.PcapPath != "" {
+		f, err := os.Create(cfg.PcapPath)
+		if err != nil {
+			panic(err)
+		}
+		pcapFile = f
+		if _, err := net.StartCapture(f); err != nil {
+			panic(err)
+		}
+	}
+	var flight *hydranet.FlightRecorder
+	var probe *hydranet.FailoverProbe
+	if cfg.FlightPrefix != "" {
+		flight = net.StartFlightRecorder(0, 0)
+		probe = net.NewFailoverProbe()
+		flight.DumpOnFailover(probe, cfg.FlightPrefix)
+	}
+	var spans *hydranet.SpanCollector
+	if cfg.SpansPath != "" {
+		spans = net.NewSpanCollector()
+	}
 
 	svc := hydranet.ServiceID{Addr: ServiceAddr, Port: ServicePort}
 	opts := hydranet.FTOptions{Detector: hydranet.DetectorParams{RetransmitThreshold: cfg.Threshold}}
@@ -143,6 +178,29 @@ func MeasureFailover(cfg FailoverConfig) FailoverResult {
 
 	for _, h := range replicas {
 		res.Suspicions += h.FTManager().Stats().Suspicions
+	}
+	if pcapFile != nil {
+		if err := pcapFile.Close(); err != nil {
+			panic(err)
+		}
+	}
+	if flight != nil && flight.Dumps() == 0 {
+		if err := flight.Dump(cfg.FlightPrefix); err != nil {
+			panic(err)
+		}
+	}
+	if spans != nil {
+		f, err := os.Create(cfg.SpansPath)
+		if err != nil {
+			panic(err)
+		}
+		if err := spans.WriteJSON(f); err != nil {
+			f.Close()
+			panic(err)
+		}
+		if err := f.Close(); err != nil {
+			panic(err)
+		}
 	}
 	return res
 }

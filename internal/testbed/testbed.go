@@ -13,6 +13,7 @@ package testbed
 
 import (
 	"fmt"
+	"os"
 	"time"
 
 	"hydranet"
@@ -103,6 +104,10 @@ type Config struct {
 	// the figure's qualitative shape must not depend on the calibration
 	// constants). Zero means 1.0.
 	CPUScale float64
+	// PcapPath, if set, captures the measured transfer — every fabric
+	// frame plus the redirector's pre-encapsulation tunnel copies — to
+	// this pcap file.
+	PcapPath string
 }
 
 // ServiceAddr is the replicated service's virtual address — a host that
@@ -258,11 +263,32 @@ func run(cfg Config) (ttcp.Result, *hydranet.Net) {
 		panic(fmt.Sprintf("testbed: unknown case %d", cfg.Case))
 	}
 
+	// The capture attaches after the topology (and its redirector, if any)
+	// exists but before the scheduler runs the transfer: the dial above
+	// only enqueued the SYN, so every frame of the measured stream is
+	// still ahead of us.
+	var pcapFile *os.File
+	if cfg.PcapPath != "" {
+		f, err := os.Create(cfg.PcapPath)
+		if err != nil {
+			panic(err)
+		}
+		pcapFile = f
+		if _, err := net.StartCapture(f); err != nil {
+			panic(err)
+		}
+	}
+
 	// Generous ceiling: slow small-packet runs take tens of virtual
 	// seconds; a wedged run stops here instead of spinning forever.
 	deadline := net.Now() + 30*time.Minute
 	for !done && net.Now() < deadline {
 		net.RunFor(time.Second)
+	}
+	if pcapFile != nil {
+		if err := pcapFile.Close(); err != nil {
+			panic(err)
+		}
 	}
 	return result, net
 }

@@ -31,6 +31,8 @@ const (
 	KindRetransmit     = obs.KindRetransmit
 	KindRTO            = obs.KindRTO
 	KindFastRetransmit = obs.KindFastRetransmit
+	KindDeposit        = obs.KindDeposit
+	KindAckProgress    = obs.KindAckProgress
 	KindMulticast      = obs.KindMulticast
 	KindRedirect       = obs.KindRedirect
 	KindTunnelError    = obs.KindTunnelError
