@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"hydranet/internal/frame"
 	"hydranet/internal/obs"
 )
 
@@ -161,5 +162,38 @@ func TestFlightRecorderAttachBus(t *testing.T) {
 	}
 	if len(dump.Hosts) != 1 || dump.Hosts[0].Host != "s1" || dump.Hosts[0].EventsSeen != 1 {
 		t.Fatalf("bus-fed rings = %+v", dump.Hosts)
+	}
+}
+
+// TestRecordFrameCopiesBeforeFrameRecycle locks in that the flight
+// recorder copies frame bytes synchronously during RecordFrame: the tap
+// hands it a slice aliasing a pooled frame that the fabric recycles (and,
+// in poison mode, scribbles) immediately afterwards.
+func TestRecordFrameCopiesBeforeFrameRecycle(t *testing.T) {
+	now, clock := fakeClock()
+	f := NewFlightRecorder(clock, 4, 4)
+	pool := frame.NewPool()
+	pool.SetPoison(true)
+
+	want := []byte{1, 2, 3, 4, 5, 6, 7, 8}
+	*now = time.Millisecond
+	fb := pool.Get(len(want))
+	copy(fb.Bytes(), want)
+	f.RecordFrame("a", "b", fb.Bytes())
+	fb.Release() // the fabric recycles the frame right after the tap runs
+
+	var buf bytes.Buffer
+	if err := f.WritePcap(&buf); err != nil {
+		t.Fatal(err)
+	}
+	pf, err := ReadAll(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pf.Records) != 1 {
+		t.Fatalf("held %d frames, want 1", len(pf.Records))
+	}
+	if !bytes.Equal(pf.Records[0].Data, want) {
+		t.Fatalf("recorded %x, want %x: flight recorder retained a slice of a recycled frame", pf.Records[0].Data, want)
 	}
 }

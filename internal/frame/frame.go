@@ -23,7 +23,10 @@
 // locking; one Pool must never be shared across schedulers.
 package frame
 
-import "fmt"
+import (
+	"fmt"
+	"sync/atomic"
+)
 
 // Headroom is the number of bytes reserved in front of every pooled buffer:
 // enough for an IPv4 header (20 B) plus an outer IP-in-IP encapsulation
@@ -50,18 +53,26 @@ type Buf struct {
 
 // Bytes returns the current frame contents. The slice is valid only until
 // Release.
+//
+//hydralint:zeroalloc
 func (b *Buf) Bytes() []byte { return b.data[b.off:b.end] }
 
 // Len returns the current frame length.
+//
+//hydralint:zeroalloc
 func (b *Buf) Len() int { return b.end - b.off }
 
 // Headroom returns how many bytes Prepend can still claim.
+//
+//hydralint:zeroalloc
 func (b *Buf) Headroom() int { return b.off }
 
 // Prepend grows the frame by n bytes at the front and returns the new
 // contents. The new bytes are uninitialized. It panics if the buffer was
 // allocated with insufficient headroom — that is a programming error, not a
 // runtime condition.
+//
+//hydralint:zeroalloc
 func (b *Buf) Prepend(n int) []byte {
 	if n > b.off {
 		panic(fmt.Sprintf("frame: Prepend(%d) exceeds headroom %d", n, b.off))
@@ -73,6 +84,8 @@ func (b *Buf) Prepend(n int) []byte {
 // Release returns the buffer to its pool. Releasing twice panics: a double
 // release means two owners, which is exactly the corruption pooling can
 // introduce. Release on a nil Buf is a no-op.
+//
+//hydralint:zeroalloc
 func (b *Buf) Release() {
 	if b == nil {
 		return
@@ -85,7 +98,7 @@ func (b *Buf) Release() {
 	if p == nil {
 		return
 	}
-	if p.poison {
+	if p.poison.Load() {
 		for i := range b.data {
 			b.data[i] = 0xDB
 		}
@@ -97,10 +110,13 @@ func (b *Buf) Release() {
 }
 
 // Pool hands out Bufs by size class and recycles them on Release. It is not
-// safe for concurrent use; every scheduler owns its own pool.
+// safe for concurrent use; every scheduler owns its own pool. The one
+// exception is the poison flag: a test harness may flip it from outside the
+// scheduler goroutine (e.g. between parallel sweep shards), so it is
+// atomic.
 type Pool struct {
 	classes [len(classSizes)][]*Buf
-	poison  bool
+	poison  atomic.Bool
 
 	gets, puts, misses uint64
 }
@@ -110,8 +126,9 @@ func NewPool() *Pool { return &Pool{} }
 
 // SetPoison makes Release overwrite returned buffers with 0xDB. Tests use
 // this to turn "read after release" bugs into loud, deterministic failures
-// instead of silent heisenbugs.
-func (p *Pool) SetPoison(on bool) { p.poison = on }
+// instead of silent heisenbugs. Unlike the rest of the pool it is safe to
+// call from any goroutine.
+func (p *Pool) SetPoison(on bool) { p.poison.Store(on) }
 
 // Stats returns cumulative Get calls, Release calls, and Gets that missed
 // the free lists (allocated fresh memory).

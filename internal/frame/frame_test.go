@@ -110,3 +110,28 @@ func BenchmarkGetRelease(b *testing.B) {
 		p.Get(1480).Release()
 	}
 }
+
+// TestSetPoisonConcurrentToggle locks in that the poison flag — the one
+// pool field a test harness may flip from outside the owning scheduler
+// goroutine, e.g. between parallel sweep shards — is safe to race with
+// Get/Release. Run under -race this fails if SetPoison regresses to a
+// plain bool store.
+func TestSetPoisonConcurrentToggle(t *testing.T) {
+	p := NewPool()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 2000; i++ {
+			b := p.Get(64)
+			b.Bytes()[0] = byte(i)
+			b.Release()
+		}
+	}()
+	for i := 0; i < 2000; i++ {
+		p.SetPoison(i%2 == 0)
+	}
+	<-done
+	if gets, puts, _ := p.Stats(); gets != 2000 || puts != 2000 {
+		t.Fatalf("gets=%d puts=%d, want 2000/2000", gets, puts)
+	}
+}

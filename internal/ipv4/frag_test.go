@@ -7,6 +7,7 @@ import (
 	"testing/quick"
 	"time"
 
+	"hydranet/internal/frame"
 	"hydranet/internal/sim"
 )
 
@@ -204,5 +205,41 @@ func TestRefragmentMiddleFragmentPreservesMF(t *testing.T) {
 	out := reassembleAll(t, all)
 	if out == nil || !bytes.Equal(out.Payload, p.Payload) {
 		t.Error("re-fragmented datagram failed to reassemble")
+	}
+}
+
+// TestReassemblerCopiesFromPooledFrames is the regression test for the
+// retained-slice hazard the framepool analyzer polices: fragment payloads
+// arrive aliasing a pooled frame's bytes, and the fabric recycles that
+// frame the moment the handler returns. Poison mode turns any alias the
+// reassembler keeps into 0xDB scribbles in the reassembled datagram.
+func TestReassemblerCopiesFromPooledFrames(t *testing.T) {
+	s := sim.NewScheduler(1)
+	r := NewReassembler(s)
+	pool := frame.NewPool()
+	pool.SetPoison(true)
+
+	p := mkPacket(4000)
+	frags, err := Fragment(p, 1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out *Packet
+	for _, f := range frags {
+		fb := pool.Get(len(f.Payload))
+		copy(fb.Bytes(), f.Payload)
+		alias := *f
+		alias.Payload = fb.Bytes()
+		got := r.Add(&alias)
+		fb.Release() // the fabric recycles the frame right after delivery
+		if got != nil {
+			out = got
+		}
+	}
+	if out == nil {
+		t.Fatal("no datagram reassembled")
+	}
+	if !bytes.Equal(out.Payload, p.Payload) {
+		t.Fatal("reassembler retained fragment payload aliasing a recycled frame; copy on Add")
 	}
 }

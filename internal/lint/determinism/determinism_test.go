@@ -1,0 +1,17 @@
+package determinism_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"hydranet/internal/lint/determinism"
+	"hydranet/internal/lint/linttest"
+)
+
+func TestCoveredPackage(t *testing.T) {
+	linttest.Run(t, determinism.Analyzer, filepath.Join(linttest.TestData(t), "src", "internal", "sim"))
+}
+
+func TestUncoveredPackage(t *testing.T) {
+	linttest.Run(t, determinism.Analyzer, filepath.Join(linttest.TestData(t), "src", "other"))
+}

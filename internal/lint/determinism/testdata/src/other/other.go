@@ -1,0 +1,28 @@
+// Package other is determinism-analyzer testdata for the *uncovered*
+// case: its import path matches none of the simulation-core suffixes, so
+// wall clocks, global rand, and map ranges are all permitted — only
+// directive hygiene still applies.
+package other
+
+import (
+	"math/rand"
+	"time"
+)
+
+var sink any
+
+// freeCode may use everything the simulation core may not.
+func freeCode(m map[string]int) {
+	sink = time.Now()
+	sink = rand.Intn(10)
+	for k := range m {
+		sink = k
+	}
+	go func() {}()
+}
+
+// hygiene: malformed directives are flagged even outside the covered set.
+func hygiene() {
+	var _ = 1 /* want "requires a reason" */ //hydralint:nondeterministic
+	var _ = 2 /* want "unknown hydralint directive" */ //hydralint:nonsense whatever
+}

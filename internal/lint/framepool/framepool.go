@@ -1,0 +1,830 @@
+// Package framepool statically checks the frame-pool ownership rules that
+// internal/frame documents as "enforced by convention, checked by poison
+// mode". Poison mode only turns a violation into a loud failure when a
+// test happens to execute it; this analyzer refuses to let the violating
+// code compile into the tree at all.
+//
+// Within each function it tracks local variables of type *frame.Buf and
+// flags, flow-insensitively but position-aware:
+//
+//   - use after Release, and double Release
+//   - use (or Release) after an ownership-transferring call — passing the
+//     Buf to SendFrame hands it to the fabric, which releases it on every
+//     outcome
+//   - slices derived from the frame's bytes (Bytes, Prepend) that are used
+//     after the frame was released or transferred, or stored somewhere
+//     longer-lived while the function gives the frame away — the
+//     reassembler-style bugs that poison mode exists to catch; copy (or
+//     tcp's privatize) first
+//   - Buf values obtained from Pool.Get that are never released, handed
+//     off, returned, or stored: a pool leak
+//
+// The position analysis understands early returns: a Release inside a
+// block that cannot fall through (it ends in return, panic, break,
+// continue, or an if/else whose branches all terminate) poisons only that
+// block, so the fabric's `if !alive { fb.Release(); return }` guards stay
+// clean. A Release or transfer inside a loop body additionally poisons the
+// whole body when the variable is never rebound in the loop — the
+// transfer-in-loop bug where iteration two touches a frame iteration one
+// gave away. Releases under defer are treated as handoffs only; their
+// execution point is the function's end, which a linear scan cannot
+// order.
+//
+// The analysis is intraprocedural. Ownership that crosses a call boundary
+// (a FrameHandler retaining bytes past HandleFrame's return) is governed
+// by the documented convention and the runtime poison tests; the two
+// mechanisms back each other up.
+package framepool
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"hydranet/internal/lint"
+)
+
+// Analyzer is the frame-pool ownership checker.
+var Analyzer = &lint.Analyzer{
+	Name: "framepool",
+	Doc:  "check frame.Buf ownership: use-after-Release, double Release, retained derived slices, pool leaks",
+	Run:  run,
+}
+
+// transferFuncs name the callees that take ownership of a *frame.Buf
+// argument.
+var transferFuncs = map[string]bool{
+	"SendFrame": true,
+}
+
+// deriveMethods are *frame.Buf methods whose result aliases the frame's
+// backing array.
+var deriveMethods = map[string]bool{
+	"Bytes":   true,
+	"Prepend": true,
+}
+
+func run(pass *lint.Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			analyzeFunc(pass, fn)
+		}
+	}
+	return nil
+}
+
+// isBufPtr reports whether t is *frame.Buf (any package named frame, so
+// analyzer testdata can supply its own).
+func isBufPtr(t types.Type) bool {
+	p, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	n, ok := p.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Name() == "Buf" && obj.Pkg() != nil && obj.Pkg().Name() == "frame"
+}
+
+// eventKind distinguishes ownership-ending operations.
+type eventKind int
+
+const (
+	evRelease eventKind = iota
+	evTransfer
+)
+
+// event is one ownership-ending operation on a tracked variable.
+type event struct {
+	obj       *types.Var
+	kind      eventKind
+	pos       token.Pos // of the call
+	selfIdent token.Pos // the variable's own mention inside the call
+	intervals []interval
+	callee    string
+}
+
+type interval struct{ from, to token.Pos }
+
+func (iv interval) contains(p token.Pos) bool { return p >= iv.from && p <= iv.to }
+
+// use is one mention of a tracked variable.
+type use struct {
+	obj *types.Var
+	id  *ast.Ident
+}
+
+func analyzeFunc(pass *lint.Pass, fn *ast.FuncDecl) {
+	info := pass.TypesInfo
+
+	// Track every local (including params and receiver) of type *frame.Buf.
+	tracked := map[*types.Var]bool{}
+	fromGet := map[*types.Var]*ast.CallExpr{}
+	ast.Inspect(fn, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if v, ok := info.Defs[id].(*types.Var); ok && isBufPtr(v.Type()) {
+			tracked[v] = true
+		}
+		return true
+	})
+	if len(tracked) == 0 {
+		return
+	}
+
+	parents := buildParents(fn)
+
+	var events []event
+	resets := map[*types.Var][]token.Pos{}
+	var uses []use
+	handoff := map[*types.Var]bool{}   // leak check: ownership plausibly left
+	lhsIdents := map[*ast.Ident]bool{} // pure rebinds; not reads
+	deferred := map[token.Pos]bool{}   // positions of calls under defer
+
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			deferred[n.Call.Pos()] = true
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				id, ok := ast.Unparen(lhs).(*ast.Ident)
+				if !ok {
+					continue
+				}
+				var v *types.Var
+				if d, ok := info.Defs[id].(*types.Var); ok {
+					v = d
+				} else if u, ok := info.Uses[id].(*types.Var); ok {
+					v = u
+				}
+				if v == nil || !tracked[v] {
+					continue
+				}
+				lhsIdents[id] = true
+				resets[v] = append(resets[v], id.Pos())
+				if len(n.Lhs) == len(n.Rhs) {
+					if call := asCall(n.Rhs[i]); call != nil && isPoolGet(info, call) {
+						fromGet[v] = call
+					}
+				}
+			}
+		case *ast.CallExpr:
+			collectCallEvents(pass, fn, n, info, tracked, parents, &events, handoff, deferred)
+		case *ast.ReturnStmt:
+			for _, r := range n.Results {
+				if v := trackedIdentVar(info, tracked, r); v != nil {
+					handoff[v] = true
+				}
+			}
+		case *ast.Ident:
+			if v, ok := info.Uses[n].(*types.Var); ok && tracked[v] {
+				uses = append(uses, use{obj: v, id: n})
+			}
+		}
+		return true
+	})
+
+	// Escapes beyond calls: stores into anything that is not a plain local
+	// rebind (fields, slices, maps, globals, channel sends, composite
+	// literals, closures) count as handoffs for the leak check.
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, rhs := range n.Rhs {
+				if v := trackedIdentVar(info, tracked, rhs); v != nil {
+					if !isLocalRebind(info, tracked, n) {
+						handoff[v] = true
+					}
+				}
+			}
+		case *ast.SendStmt:
+			if v := trackedIdentVar(info, tracked, n.Value); v != nil {
+				handoff[v] = true
+			}
+		case *ast.CompositeLit:
+			for _, e := range n.Elts {
+				x := e
+				if kv, ok := e.(*ast.KeyValueExpr); ok {
+					x = kv.Value
+				}
+				if v := trackedIdentVar(info, tracked, x); v != nil {
+					handoff[v] = true
+				}
+			}
+		case *ast.FuncLit:
+			// A closure that mentions the buf may release it later.
+			ast.Inspect(n.Body, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok {
+					if v, ok := info.Uses[id].(*types.Var); ok && tracked[v] {
+						handoff[v] = true
+					}
+				}
+				return true
+			})
+		}
+		return true
+	})
+
+	derived, derivedResets := deriveSlices(info, fn, tracked)
+
+	reportOwnership(pass, events, uses, resets, lhsIdents, derived, derivedResets, info)
+	reportLeaks(pass, fromGet, handoff)
+	reportRetainedStores(pass, fn, info, tracked, events, derived)
+}
+
+// collectCallEvents records Release and transfer calls on tracked vars.
+func collectCallEvents(pass *lint.Pass, fn *ast.FuncDecl, call *ast.CallExpr, info *types.Info,
+	tracked map[*types.Var]bool, parents map[ast.Node]ast.Node,
+	events *[]event, handoff map[*types.Var]bool, deferred map[token.Pos]bool) {
+
+	// fb.Release()
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Release" && len(call.Args) == 0 {
+		if v := trackedIdentVar(info, tracked, sel.X); v != nil {
+			handoff[v] = true
+			if deferred[call.Pos()] {
+				return // runs at function exit; cannot be ordered linearly
+			}
+			ivs, loopCarried := poisonIntervals(fn, call, parents, v, info)
+			if loopCarried {
+				pass.Reportf(call.Pos(), "Release of %s inside a loop that never rebinds it: the next iteration double-releases", v.Name())
+			}
+			*events = append(*events, event{
+				obj: v, kind: evRelease, pos: call.Pos(),
+				selfIdent: identPos(sel.X),
+				intervals: ivs,
+				callee:    "Release",
+			})
+			return
+		}
+	}
+
+	// Transfer calls: any argument that is a tracked var passed to a
+	// callee in transferFuncs.
+	name := calleeName(call)
+	for _, arg := range call.Args {
+		v := trackedIdentVar(info, tracked, arg)
+		if v == nil {
+			continue
+		}
+		handoff[v] = true // any callee may assume ownership
+		if transferFuncs[name] && !deferred[call.Pos()] {
+			ivs, loopCarried := poisonIntervals(fn, call, parents, v, info)
+			if loopCarried {
+				pass.Reportf(call.Pos(), "transfer of %s to %s inside a loop that never rebinds it: the next iteration hands the fabric a frame it already owns", v.Name(), name)
+			}
+			*events = append(*events, event{
+				obj: v, kind: evTransfer, pos: call.Pos(),
+				selfIdent: identPos(arg),
+				intervals: ivs,
+				callee:    name,
+			})
+		}
+	}
+}
+
+// reportOwnership flags uses that land inside some event's poisoned
+// region with no rebind in between.
+func reportOwnership(pass *lint.Pass, events []event, uses []use,
+	resets map[*types.Var][]token.Pos, lhsIdents map[*ast.Ident]bool,
+	derived map[*types.Var]*types.Var, derivedResets map[*types.Var][]token.Pos, info *types.Info) {
+
+	flagged := map[token.Pos]bool{}
+	flag := func(pos token.Pos, format string, args ...any) {
+		if !flagged[pos] {
+			flagged[pos] = true
+			pass.Reportf(pos, format, args...)
+		}
+	}
+
+	for _, u := range uses {
+		if lhsIdents[u.id] {
+			continue // rebind, not a read
+		}
+		upos := u.id.Pos()
+		for i := range events {
+			ev := &events[i]
+			if ev.obj != u.obj || upos == ev.selfIdent {
+				continue
+			}
+			if !inIntervals(ev.intervals, upos) {
+				continue
+			}
+			if rebindBetween(resets[u.obj], ev.pos, upos) {
+				continue
+			}
+			switch classifyUse(u.id, ev, events) {
+			case "double-release":
+				flag(upos, "double Release of %s (first at %s)", u.obj.Name(), pass.Fset.Position(ev.pos))
+			case "release-after-transfer":
+				flag(upos, "Release of %s after ownership transfer to %s at %s: the fabric guarantees the release", u.obj.Name(), ev.callee, pass.Fset.Position(ev.pos))
+			default:
+				if ev.kind == evRelease {
+					flag(upos, "use of %s after Release at %s", u.obj.Name(), pass.Fset.Position(ev.pos))
+				} else {
+					flag(upos, "use of %s after ownership transfer to %s at %s", u.obj.Name(), ev.callee, pass.Fset.Position(ev.pos))
+				}
+			}
+			break
+		}
+	}
+
+	// Derived slices: a use of d (derived from fb) inside fb's poisoned
+	// region is a read through a recycled frame.
+	for dv, bv := range derived {
+		for _, u := range mentionsOf(info, dv) {
+			upos := u.Pos()
+			if lhsIdents[u] {
+				continue
+			}
+			for i := range events {
+				ev := &events[i]
+				if ev.obj != bv || !inIntervals(ev.intervals, upos) {
+					continue
+				}
+				if rebindBetween(resets[bv], ev.pos, upos) || rebindBetween(derivedResets[dv], ev.pos, upos) {
+					continue
+				}
+				what := "Release"
+				if ev.kind == evTransfer {
+					what = "ownership transfer to " + ev.callee
+				}
+				flag(upos, "slice %s derived from frame %s used after its %s at %s; copy (or privatize) before giving the frame away",
+					dv.Name(), bv.Name(), what, pass.Fset.Position(ev.pos))
+				break
+			}
+		}
+	}
+}
+
+// classifyUse refines the message when the offending use is itself a
+// Release or transfer event.
+func classifyUse(id *ast.Ident, cause *event, events []event) string {
+	for i := range events {
+		ev := &events[i]
+		if ev.selfIdent != id.Pos() {
+			continue
+		}
+		if ev.kind == evRelease {
+			if cause.kind == evRelease {
+				return "double-release"
+			}
+			return "release-after-transfer"
+		}
+	}
+	return "use"
+}
+
+// reportLeaks flags Get results that never leave the function.
+func reportLeaks(pass *lint.Pass, fromGet map[*types.Var]*ast.CallExpr, handoff map[*types.Var]bool) {
+	for v, call := range fromGet {
+		if handoff[v] {
+			continue
+		}
+		pass.Reportf(call.Pos(), "%s obtained from Get is never released or handed off: pool leak", v.Name())
+	}
+}
+
+// reportRetainedStores flags derived slices stored into longer-lived
+// places when the function also gives the frame away.
+func reportRetainedStores(pass *lint.Pass, fn *ast.FuncDecl, info *types.Info,
+	tracked map[*types.Var]bool, events []event, derived map[*types.Var]*types.Var) {
+
+	gone := map[*types.Var]bool{}
+	for i := range events {
+		gone[events[i].obj] = true
+	}
+	if len(gone) == 0 {
+		return
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			if _, isIdent := ast.Unparen(lhs).(*ast.Ident); isIdent {
+				continue // local rebinds handled by the positional analysis
+			}
+			bv := derivedSource(info, tracked, derived, as.Rhs[i])
+			if bv == nil || !gone[bv] {
+				continue
+			}
+			pass.Reportf(as.Rhs[i].Pos(), "slice derived from frame %s stored in longer-lived state while this function releases or transfers the frame; copy the bytes instead", bv.Name())
+		}
+		return true
+	})
+}
+
+// --- derived-slice tracking ---
+
+// deriveSlices maps slice variables to the Buf they alias, by fixpoint
+// over assignments, plus reset positions (assignments from non-derived
+// sources, e.g. a privatizing copy).
+func deriveSlices(info *types.Info, fn *ast.FuncDecl, tracked map[*types.Var]bool) (map[*types.Var]*types.Var, map[*types.Var][]token.Pos) {
+	derived := map[*types.Var]*types.Var{}
+	resets := map[*types.Var][]token.Pos{}
+	for {
+		changed := false
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Lhs) != len(as.Rhs) {
+				return true
+			}
+			for i, lhs := range as.Lhs {
+				id, ok := ast.Unparen(lhs).(*ast.Ident)
+				if !ok {
+					continue
+				}
+				var v *types.Var
+				if d, ok := info.Defs[id].(*types.Var); ok {
+					v = d
+				} else if u, ok := info.Uses[id].(*types.Var); ok {
+					v = u
+				}
+				if v == nil || tracked[v] {
+					continue
+				}
+				if src := derivedSource(info, tracked, derived, as.Rhs[i]); src != nil {
+					if derived[v] != src {
+						derived[v] = src
+						changed = true
+					}
+				} else {
+					resets[v] = append(resets[v], id.Pos())
+				}
+			}
+			return true
+		})
+		if !changed {
+			break
+		}
+		// resets accumulate duplicates across fixpoint rounds; harmless
+		// (positional containment only), but cap the loop for safety.
+		if len(derived) > 1024 {
+			break
+		}
+	}
+	return derived, resets
+}
+
+// derivedSource resolves expr to the tracked Buf it aliases, or nil.
+func derivedSource(info *types.Info, tracked map[*types.Var]bool, derived map[*types.Var]*types.Var, expr ast.Expr) *types.Var {
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		if v, ok := info.Uses[e].(*types.Var); ok {
+			if src, ok := derived[v]; ok {
+				return src
+			}
+		}
+	case *ast.SliceExpr:
+		return derivedSource(info, tracked, derived, e.X)
+	case *ast.CallExpr:
+		if sel, ok := ast.Unparen(e.Fun).(*ast.SelectorExpr); ok && deriveMethods[sel.Sel.Name] {
+			if v := trackedIdentVar(info, tracked, sel.X); v != nil {
+				return v
+			}
+		}
+	}
+	return nil
+}
+
+// --- poison interval computation ---
+
+// buildParents maps every node under fn to its parent.
+func buildParents(fn *ast.FuncDecl) map[ast.Node]ast.Node {
+	parents := map[ast.Node]ast.Node{}
+	var stack []ast.Node
+	ast.Inspect(fn, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return false
+		}
+		if len(stack) > 0 {
+			parents[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return parents
+}
+
+// poisonIntervals computes the source regions poisoned by an
+// ownership-ending call: from the call to the end of each enclosing block
+// it can fall out of, stopping at blocks that cannot complete normally
+// and at the innermost function-literal boundary. Inside a loop whose
+// body never rebinds the variable, the whole body is poisoned (the event
+// reaches the next iteration); loopCarried additionally reports the
+// unguarded straight-line case, where the event's own call site is the
+// next iteration's violation.
+func poisonIntervals(fn *ast.FuncDecl, call *ast.CallExpr, parents map[ast.Node]ast.Node, v *types.Var, info *types.Info) (out []interval, loopCarried bool) {
+	start := call.Pos()
+
+	var node ast.Node = call
+	for {
+		parent := parents[node]
+		if parent == nil {
+			break
+		}
+		stmts, blockEnd, isFuncBoundary, loopBody := container(parents, parent)
+		if stmts != nil {
+			out = append(out, interval{start, blockEnd})
+			idx := childIndex(stmts, node)
+			if loopBody != nil && !rebindsVar(info, loopBody, v) {
+				out = append(out, interval{loopBody.Pos(), start})
+				// Straight-line event (its own statement is the bare call,
+				// not guarded by a conditional) with no way out of the loop
+				// after it: the next iteration repeats the event itself.
+				if idx >= 0 && isBareCallStmt(stmts[idx], call) && !segmentTerminates(stmts, idx+1) {
+					loopCarried = true
+				}
+			}
+			if segmentTerminates(stmts, idx) {
+				return out, loopCarried
+			}
+			// Continue above the statement that owns this block.
+			start = containingStmtEnd(parents, parent)
+		}
+		if isFuncBoundary {
+			return out, loopCarried
+		}
+		node = parent
+	}
+	return out, loopCarried
+}
+
+// isBareCallStmt reports whether s is exactly `call` as an expression
+// statement.
+func isBareCallStmt(s ast.Stmt, call *ast.CallExpr) bool {
+	es, ok := s.(*ast.ExprStmt)
+	return ok && ast.Unparen(es.X) == call
+}
+
+// container inspects a parent node: when it is a statement-list holder it
+// returns the list and its end. It also reports whether the parent is a
+// function boundary, and the loop body when the parent is a loop's block.
+func container(parents map[ast.Node]ast.Node, parent ast.Node) (stmts []ast.Stmt, end token.Pos, funcBoundary bool, loopBody *ast.BlockStmt) {
+	switch p := parent.(type) {
+	case *ast.BlockStmt:
+		stmts, end = p.List, p.End()
+		switch gp := parents[p].(type) {
+		case *ast.FuncDecl:
+			funcBoundary = true
+		case *ast.FuncLit:
+			funcBoundary = true
+		case *ast.ForStmt:
+			if gp.Body == p {
+				loopBody = p
+			}
+		case *ast.RangeStmt:
+			if gp.Body == p {
+				loopBody = p
+			}
+		}
+	case *ast.CaseClause:
+		stmts, end = p.Body, p.End()
+	case *ast.CommClause:
+		stmts, end = p.Body, p.End()
+	}
+	return
+}
+
+// containingStmtEnd walks from block upward to the statement that owns it
+// (IfStmt, ForStmt, SwitchStmt, ...) and returns that statement's End, so
+// the next poison interval skips sibling branches: an else block is not
+// reachable from its then block, and a later case clause is not reachable
+// from an earlier one.
+func containingStmtEnd(parents map[ast.Node]ast.Node, block ast.Node) token.Pos {
+	// A case or comm clause exits its whole switch/select.
+	switch block.(type) {
+	case *ast.CaseClause, *ast.CommClause:
+		n := block
+		for {
+			p := parents[n]
+			if p == nil {
+				return block.End()
+			}
+			switch p.(type) {
+			case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+				return p.End()
+			}
+			n = p
+		}
+	}
+	n := block
+	for {
+		p := parents[n]
+		if p == nil {
+			return block.End()
+		}
+		if _, ok := p.(ast.Stmt); ok {
+			if _, isBlock := p.(*ast.BlockStmt); !isBlock {
+				return p.End()
+			}
+			return n.End()
+		}
+		switch p.(type) {
+		case *ast.FuncDecl, *ast.FuncLit:
+			return n.End()
+		}
+		n = p
+	}
+}
+
+// childIndex finds which statement of stmts contains n.
+func childIndex(stmts []ast.Stmt, n ast.Node) int {
+	for i, s := range stmts {
+		if s.Pos() <= n.Pos() && n.End() <= s.End() {
+			return i
+		}
+	}
+	return -1
+}
+
+// segmentTerminates reports whether execution entering stmts[idx] can
+// never fall past the end of the list: some statement at or after idx is
+// terminating.
+func segmentTerminates(stmts []ast.Stmt, idx int) bool {
+	if idx < 0 {
+		return false
+	}
+	for _, s := range stmts[idx:] {
+		if isTerminating(s) {
+			return true
+		}
+	}
+	return false
+}
+
+// isTerminating is a pragmatic subset of the spec's terminating-statement
+// rules.
+func isTerminating(s ast.Stmt) bool {
+	switch s := s.(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	case *ast.IfStmt:
+		if s.Else == nil {
+			return false
+		}
+		thenTerm := blockTerminates(s.Body)
+		switch e := s.Else.(type) {
+		case *ast.BlockStmt:
+			return thenTerm && blockTerminates(e)
+		case *ast.IfStmt:
+			return thenTerm && isTerminating(e)
+		}
+	case *ast.BlockStmt:
+		return blockTerminates(s)
+	}
+	return false
+}
+
+func blockTerminates(b *ast.BlockStmt) bool {
+	if len(b.List) == 0 {
+		return false
+	}
+	return segmentTerminates(b.List, 0)
+}
+
+// isLocalRebind reports whether every LHS of the assignment is a plain
+// local identifier: copying a tracked var into another local aliases it
+// (the alias is itself tracked) rather than letting it escape.
+func isLocalRebind(info *types.Info, tracked map[*types.Var]bool, as *ast.AssignStmt) bool {
+	for _, lhs := range as.Lhs {
+		id, ok := ast.Unparen(lhs).(*ast.Ident)
+		if !ok {
+			return false
+		}
+		var v *types.Var
+		if d, ok := info.Defs[id].(*types.Var); ok {
+			v = d
+		} else if u, ok := info.Uses[id].(*types.Var); ok {
+			v = u
+		}
+		if v == nil {
+			return false
+		}
+		if v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+			return false // store into a package-level var escapes
+		}
+	}
+	return true
+}
+
+// rebindsVar reports whether any assignment in the subtree rebinds v.
+func rebindsVar(info *types.Info, root ast.Node, v *types.Var) bool {
+	found := false
+	ast.Inspect(root, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for _, lhs := range as.Lhs {
+			id, ok := ast.Unparen(lhs).(*ast.Ident)
+			if !ok {
+				continue
+			}
+			if info.Defs[id] == v || info.Uses[id] == v {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// --- small helpers ---
+
+func inIntervals(ivs []interval, p token.Pos) bool {
+	for _, iv := range ivs {
+		if iv.contains(p) {
+			return true
+		}
+	}
+	return false
+}
+
+// rebindBetween reports whether the variable was rebound strictly between
+// from and to.
+func rebindBetween(resets []token.Pos, from, to token.Pos) bool {
+	for _, r := range resets {
+		if r > from && r < to {
+			return true
+		}
+	}
+	return false
+}
+
+// trackedIdentVar resolves expr to a tracked variable, or nil.
+func trackedIdentVar(info *types.Info, tracked map[*types.Var]bool, expr ast.Expr) *types.Var {
+	id, ok := ast.Unparen(expr).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if v, ok := info.Uses[id].(*types.Var); ok && tracked[v] {
+		return v
+	}
+	return nil
+}
+
+func identPos(expr ast.Expr) token.Pos {
+	if id, ok := ast.Unparen(expr).(*ast.Ident); ok {
+		return id.Pos()
+	}
+	return token.NoPos
+}
+
+func asCall(expr ast.Expr) *ast.CallExpr {
+	call, _ := ast.Unparen(expr).(*ast.CallExpr)
+	return call
+}
+
+// isPoolGet reports whether the call is a Get returning *frame.Buf.
+func isPoolGet(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Get" {
+		return false
+	}
+	tv, ok := info.Types[call]
+	return ok && tv.Type != nil && isBufPtr(tv.Type)
+}
+
+// calleeName extracts the called function or method's bare name.
+func calleeName(call *ast.CallExpr) string {
+	switch f := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return f.Name
+	case *ast.SelectorExpr:
+		return f.Sel.Name
+	}
+	return ""
+}
+
+// mentionsOf collects every mention of v. (Separate from the main use
+// list so derived-slice vars, which are not tracked Buf vars, get their
+// own scan.)
+func mentionsOf(info *types.Info, v *types.Var) []*ast.Ident {
+	var out []*ast.Ident
+	for id, obj := range info.Uses {
+		if obj == v {
+			out = append(out, id)
+		}
+	}
+	return out
+}

@@ -1,0 +1,13 @@
+package framepool_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"hydranet/internal/lint/framepool"
+	"hydranet/internal/lint/linttest"
+)
+
+func TestOwnership(t *testing.T) {
+	linttest.Run(t, framepool.Analyzer, filepath.Join(linttest.TestData(t), "src", "pool_a"))
+}

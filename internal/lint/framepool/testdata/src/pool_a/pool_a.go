@@ -1,0 +1,167 @@
+// Package pool_a is framepool-analyzer testdata: each ownership bug the
+// analyzer must catch, seeded next to the idiomatic clean patterns the
+// fabric actually uses (early-return guards, defer, per-iteration Get,
+// privatizing copies) which must stay unflagged.
+package pool_a
+
+import "hydranet/internal/frame"
+
+// SendFrame stands in for the fabric's ownership-transferring send: the
+// callee releases the frame on every outcome.
+func SendFrame(ifindex int, fb *frame.Buf) {
+	fb.Release()
+	_ = ifindex
+}
+
+type holder struct{ buf []byte }
+
+var sink byte
+
+// --- violations ---
+
+func useAfterRelease(fb *frame.Buf) int {
+	fb.Release()
+	return fb.Len() // want "use of fb after Release"
+}
+
+func doubleRelease(fb *frame.Buf) {
+	fb.Release()
+	fb.Release() // want "double Release of fb"
+}
+
+func useAfterTransfer(fb *frame.Buf) int {
+	SendFrame(0, fb)
+	return fb.Len() // want "use of fb after ownership transfer to SendFrame"
+}
+
+func releaseAfterTransfer(fb *frame.Buf) {
+	SendFrame(0, fb)
+	fb.Release() // want "Release of fb after ownership transfer to SendFrame"
+}
+
+func condReleaseThenUse(fb *frame.Buf, drop bool) int {
+	if drop {
+		fb.Release()
+	}
+	return fb.Len() // want "use of fb after Release"
+}
+
+func derivedAfterRelease(fb *frame.Buf) byte {
+	b := fb.Bytes()
+	fb.Release()
+	return b[0] // want "slice b derived from frame fb used after its Release"
+}
+
+func derivedAfterTransfer(fb *frame.Buf) {
+	hdr := fb.Prepend(4)
+	SendFrame(0, fb)
+	hdr[0] = 1 // want "slice hdr derived from frame fb used after its ownership transfer to SendFrame"
+}
+
+func retainedStore(h *holder, fb *frame.Buf) {
+	h.buf = fb.Bytes() // want "slice derived from frame fb stored in longer-lived state"
+	fb.Release()
+}
+
+func leak(p *frame.Pool) {
+	fb := p.Get(64) // want "fb obtained from Get is never released or handed off: pool leak"
+	sink = fb.Bytes()[0]
+}
+
+func loopTransfer(fb *frame.Buf, n int) {
+	for i := 0; i < n; i++ {
+		SendFrame(0, fb) // want "transfer of fb to SendFrame inside a loop that never rebinds it"
+	}
+}
+
+func loopRelease(fb *frame.Buf, n int) {
+	for i := 0; i < n; i++ {
+		fb.Release() // want "Release of fb inside a loop that never rebinds it"
+	}
+}
+
+// --- clean patterns ---
+
+// earlyReturnGuard is the fabric's pervasive drop idiom: the Release is
+// confined to a block that returns, so the fall-through path still owns
+// the frame.
+func earlyReturnGuard(fb *frame.Buf, alive bool) int {
+	if !alive {
+		fb.Release()
+		return 0
+	}
+	return fb.Len()
+}
+
+// elseIsolation: a Release in the then-branch cannot poison the else.
+func elseIsolation(fb *frame.Buf, drop bool) int {
+	if drop {
+		fb.Release()
+	} else {
+		return fb.Len()
+	}
+	return 0
+}
+
+// caseIsolation: switch cases do not fall through in Go.
+func caseIsolation(fb *frame.Buf, k int) int {
+	switch k {
+	case 0:
+		fb.Release()
+	case 1:
+		return fb.Len()
+	}
+	return 0
+}
+
+// deferredRelease runs at function exit; every body use precedes it.
+func deferredRelease(fb *frame.Buf) int {
+	defer fb.Release()
+	return fb.Len()
+}
+
+// cleanRoundTrip: get, use, release, in order.
+func cleanRoundTrip(p *frame.Pool) byte {
+	fb := p.Get(64)
+	b := fb.Bytes()
+	v := b[0]
+	fb.Release()
+	return v
+}
+
+// privatize copies the derived bytes before the frame goes away — the
+// tcp-receive-path idiom.
+func privatize(fb *frame.Buf) byte {
+	b := fb.Bytes()
+	cp := append([]byte(nil), b...)
+	fb.Release()
+	return cp[0]
+}
+
+// loopRebind gets a fresh frame each iteration, so the transfer is not
+// loop-carried.
+func loopRebind(p *frame.Pool, n int) {
+	for i := 0; i < n; i++ {
+		fb := p.Get(64)
+		SendFrame(0, fb)
+	}
+}
+
+// loopGuarded mixes a guarded drop with a transfer; the rebind keeps both
+// per-iteration.
+func loopGuarded(p *frame.Pool, n int, drop bool) {
+	for i := 0; i < n; i++ {
+		fb := p.Get(64)
+		if drop {
+			fb.Release()
+			continue
+		}
+		SendFrame(0, fb)
+	}
+}
+
+// returnHandoff passes ownership to the caller; not a leak.
+func returnHandoff(p *frame.Pool) *frame.Buf {
+	fb := p.Get(64)
+	return fb
+}

@@ -1,0 +1,127 @@
+// Package hotpath is zeroalloc-analyzer testdata: annotated fast-path
+// functions seeded with each allocation class the analyzer must catch,
+// alongside unannotated functions that may allocate freely and clean
+// annotated functions that must not be flagged.
+package hotpath
+
+import "fmt"
+
+type event struct {
+	kind int
+	size int
+}
+
+type bus struct {
+	mask uint64
+	subs [4][]func(event)
+}
+
+var sink any
+var sinkStr string
+
+// Enabled is the canonical disabled-path guard: one nil check and a mask
+// test. Must stay clean.
+//
+//hydralint:zeroalloc
+func (b *bus) Enabled(kind int) bool {
+	return b != nil && b.mask&(1<<kind) != 0
+}
+
+// Publish fans an event out by value. Clean: no boxing, no fmt, no
+// closures, no concatenation.
+//
+//hydralint:zeroalloc
+func (b *bus) Publish(e event) {
+	if b == nil || b.mask&(1<<e.kind) == 0 {
+		return
+	}
+	for _, h := range b.subs[e.kind] {
+		h(e)
+	}
+}
+
+// violations gathers every class the analyzer must flag.
+//
+//hydralint:zeroalloc
+func violations(e event, name string) {
+	fmt.Println("hot") // want "fmt.Println allocates in zeroalloc function violations"
+
+	sink = e // want "assignment boxes event into any in zeroalloc function violations"
+
+	takeAny(e.size) // want "argument boxes int into any in zeroalloc function violations"
+
+	sinkStr = name + "!" // want "string concatenation allocates in zeroalloc function violations"
+
+	n := 0
+	run(func() { n++ }) // want "closure captures n and forces a heap allocation in zeroalloc function violations"
+	sink = &n
+}
+
+// conversionBox flags explicit interface conversions too.
+//
+//hydralint:zeroalloc
+func conversionBox(e event) {
+	_ = any(e) // want "conversion boxes event into any in zeroalloc function conversionBox"
+}
+
+// declBox flags var declarations with interface type.
+//
+//hydralint:zeroalloc
+func declBox(e event) {
+	var x interface{} = e // want "declaration boxes event into interface{} in zeroalloc function declBox"
+	_ = x
+}
+
+// transitive is NOT annotated itself, but record (a root) calls it, so it
+// inherits the constraint.
+func transitive(e event) {
+	sink = e // want "assignment boxes event into any in zeroalloc function transitive \(on the zeroalloc path of record\)"
+}
+
+// record is a root whose helper must also stay clean.
+//
+//hydralint:zeroalloc
+func record(e event) {
+	transitive(e)
+}
+
+// pointerShaped must stay clean: pointers, maps, funcs, and interface
+// values all fit the iface word without allocating.
+//
+//hydralint:zeroalloc
+func pointerShaped(e *event, m map[int]int, f func(), i any) {
+	sink = e
+	sink = m
+	sink = f
+	sink = i
+	sink = nil
+}
+
+// panicPath must stay clean: the fmt.Sprintf feeds a panic, which is the
+// cold path by definition.
+//
+//hydralint:zeroalloc
+func panicPath(n, limit int) {
+	if n > limit {
+		panic(fmt.Sprintf("overflow: %d > %d", n, limit))
+	}
+}
+
+// constConcat must stay clean: the compiler folds constant concatenation.
+//
+//hydralint:zeroalloc
+func constConcat() {
+	const prefix = "a"
+	sinkStr = prefix + "b"
+}
+
+// unannotated may do anything: no diagnostics, proving the analyzer only
+// fires on marked call paths.
+func unannotated(e event, name string) {
+	fmt.Println("cold", e)
+	sink = e
+	sinkStr = name + "!"
+}
+
+func takeAny(v any) { sink = v }
+func run(f func())  { f() }

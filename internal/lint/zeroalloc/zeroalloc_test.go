@@ -1,0 +1,13 @@
+package zeroalloc_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"hydranet/internal/lint/linttest"
+	"hydranet/internal/lint/zeroalloc"
+)
+
+func TestHotPath(t *testing.T) {
+	linttest.Run(t, zeroalloc.Analyzer, filepath.Join(linttest.TestData(t), "src", "hotpath"))
+}

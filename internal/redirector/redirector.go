@@ -122,7 +122,7 @@ func (r *Redirector) Lookup(key ServiceKey) *Entry {
 // Services lists the installed service keys (sorted, for stable output).
 func (r *Redirector) Services() []ServiceKey {
 	out := make([]ServiceKey, 0, len(r.table))
-	for k := range r.table {
+	for k := range r.table { //hydralint:nondeterministic order normalized by the sort below
 		out = append(out, k)
 	}
 	sort.Slice(out, func(i, j int) bool {

@@ -110,6 +110,8 @@ func (s *Scheduler) Pending() int { return len(s.heap) - s.dead }
 
 // At schedules fn to run at absolute virtual time t. Scheduling in the past
 // panics: it would reorder causality.
+//
+//hydralint:zeroalloc
 func (s *Scheduler) At(t time.Duration, fn func()) Event {
 	if t < s.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, s.now))
@@ -134,6 +136,8 @@ func (s *Scheduler) At(t time.Duration, fn func()) Event {
 }
 
 // After schedules fn to run d after the current virtual time.
+//
+//hydralint:zeroalloc
 func (s *Scheduler) After(d time.Duration, fn func()) Event {
 	if d < 0 {
 		d = 0
@@ -143,6 +147,8 @@ func (s *Scheduler) After(d time.Duration, fn func()) Event {
 
 // Step executes the next pending event, advancing the clock to its
 // timestamp. It returns false when the queue is empty.
+//
+//hydralint:zeroalloc
 func (s *Scheduler) Step() bool {
 	for len(s.heap) > 0 {
 		n := s.popRoot()

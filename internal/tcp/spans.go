@@ -175,7 +175,7 @@ func (sc *SpanCollector) observe(e obs.Event) {
 				// that triggered this progress report (the latest other-node
 				// deposit of the span not after now) to its arrival here.
 				var dep time.Duration = -1
-				for node, other := range s.Hops {
+				for node, other := range s.Hops { //hydralint:nondeterministic max over hop deposit times, order-independent
 					if node == e.Node || other.DepositAt == 0 || other.DepositAt > e.Time {
 						continue
 					}

@@ -3,6 +3,7 @@ package tcp
 import (
 	"fmt"
 	"hash/fnv"
+	"sort"
 	"time"
 
 	"hydranet/internal/ipv4"
@@ -184,7 +185,7 @@ func (s *Stack) RTTHistogram() *metrics.Histogram { return &s.rttHist }
 // has carried: live ones plus the accumulated totals of closed ones.
 func (s *Stack) ConnTotals() ConnStats {
 	t := s.closedTotals
-	for _, c := range s.conns {
+	for _, c := range s.conns { //hydralint:nondeterministic commutative sum, order cannot affect the totals
 		t.accumulate(c.stats)
 	}
 	return t
@@ -345,12 +346,28 @@ func (s *Stack) FindConn(local, remote Endpoint) *Conn {
 	return s.conns[connKey{local: local, remote: remote}]
 }
 
-// Conns returns all live connections (copy).
+// Conns returns all live connections (copy), sorted by endpoint pair.
+// Reset terminates connections through this list, and termination emits
+// events and mutates shared state — map order here would leak into the
+// replay timeline.
 func (s *Stack) Conns() []*Conn {
 	out := make([]*Conn, 0, len(s.conns))
-	for _, c := range s.conns {
+	for _, c := range s.conns { //hydralint:nondeterministic order normalized by the sort below
 		out = append(out, c)
 	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.local != b.local {
+			if a.local.Addr != b.local.Addr {
+				return a.local.Addr < b.local.Addr
+			}
+			return a.local.Port < b.local.Port
+		}
+		if a.remote.Addr != b.remote.Addr {
+			return a.remote.Addr < b.remote.Addr
+		}
+		return a.remote.Port < b.remote.Port
+	})
 	return out
 }
 
