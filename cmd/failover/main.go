@@ -38,6 +38,8 @@ func main() {
 	pcapPrefix := flag.String("pcap", "", "capture each run to PREFIX-t<threshold>.pcap")
 	flightPrefix := flag.String("flight", "", "flight-record each run; dump PREFIX-t<threshold>.{pcap,json} when the failover probe fires")
 	spansPrefix := flag.String("spans", "", "write each run's ft-TCP span timeline to PREFIX-t<threshold>.json")
+	seriesPrefix := flag.String("series", "", "export each run's time series (with health verdicts) to PREFIX-t<threshold>.jsonl")
+	sampleEvery := flag.Duration("sample-every", 0, "telemetry sampling cadence for -series (default 100ms of virtual time)")
 	flag.Parse()
 
 	thresholds := []int{1, 2, 3, 4, 6, 8}
@@ -58,6 +60,10 @@ func main() {
 		}
 		if *spansPrefix != "" {
 			cfg.SpansPath = fmt.Sprintf("%s-t%d.json", *spansPrefix, thresholds[i])
+		}
+		if *seriesPrefix != "" {
+			cfg.SeriesPath = fmt.Sprintf("%s-t%d.jsonl", *seriesPrefix, thresholds[i])
+			cfg.SampleEvery = *sampleEvery
 		}
 		res := testbed.MeasureFailover(cfg)
 		r := row{

@@ -18,6 +18,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 	"time"
 
@@ -70,6 +71,8 @@ func main() {
 	pcapPath := flag.String("pcap", "", "capture every frame (plus pre-encap tunnel copies) to this pcap file")
 	flightPrefix := flag.String("flight", "", "run a flight recorder; dump PREFIX.pcap/PREFIX.json on failover (or at the end)")
 	spansPath := flag.String("spans", "", "write the per-connection ft-TCP span timeline as JSON to this file (\"-\" = stdout)")
+	seriesPath := flag.String("series", "", "export sampled time series (with replica health verdicts) to this file (JSONL, or CSV with a .csv extension)")
+	sampleEvery := flag.Duration("sample-every", 0, "telemetry sampling cadence for -series (default 100ms of virtual time)")
 	flag.Parse()
 
 	if *events == "list" {
@@ -145,9 +148,22 @@ func main() {
 		flight.DumpOnFailover(probe, *flightPrefix)
 	}
 	var spans *hydranet.SpanCollector
-	if *spansPath != "" || *stats {
+	if *spansPath != "" || *stats || *seriesPath != "" {
 		spans = net.NewSpanCollector()
 	}
+	var tel *hydranet.Telemetry
+	if *seriesPath != "" {
+		tel = net.StartSampler(hydranet.SamplerConfig{
+			Every:  *sampleEvery,
+			Spans:  spans,
+			Health: &hydranet.HealthConfig{},
+		})
+		tel.AttachFailover(probe)
+		tel.WatchReplicas(hosts...)
+	}
+	// kindCounts is a slice indexed by event kind, not a map: iterating it
+	// at print time is deterministic. The -stats emission below still sorts
+	// by kind name so the listing is stable under kind renumbering.
 	var kindCounts []uint64
 	if *stats {
 		kindCounts = make([]uint64, len(obs.Kinds()))
@@ -300,6 +316,15 @@ func main() {
 			logf("span timeline written to %s", *spansPath)
 		}
 	}
+	if tel != nil {
+		tel.Stop()
+		if err := tel.WriteFile(*seriesPath); err != nil {
+			fmt.Fprintf(os.Stderr, "hydranet-sim: -series: %v\n", err)
+			os.Exit(1)
+		}
+		logf("time series (%d series, %d ticks) written to %s",
+			tel.Set().Len(), tel.Sampler().Ticks(), *seriesPath)
+	}
 
 	snap := net.Snapshot()
 	if report.CrashAt > 0 {
@@ -321,10 +346,19 @@ func main() {
 	if *stats {
 		printSnapshot(snap)
 		fmt.Println("  event counts:")
+		type kindCount struct {
+			name  string
+			count uint64
+		}
+		var counts []kindCount
 		for k, c := range kindCounts {
 			if c > 0 {
-				fmt.Printf("    %-16s %8d\n", obs.Kind(k), c)
+				counts = append(counts, kindCount{obs.Kind(k).String(), c})
 			}
+		}
+		sort.Slice(counts, func(i, j int) bool { return counts[i].name < counts[j].name })
+		for _, kc := range counts {
+			fmt.Printf("    %-16s %8d\n", kc.name, kc.count)
 		}
 		if spans != nil {
 			if lag := spans.AckChainLag(); lag.Count > 0 {

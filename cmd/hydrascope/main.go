@@ -1,0 +1,145 @@
+// Command hydrascope analyzes exported HydraNet-FT telemetry: it renders a
+// failover timeline report from a series export, and diffs two runs —
+// series exports or ttcpbench results — within a tolerance, exiting
+// non-zero on regression so CI can gate on it.
+//
+// Usage:
+//
+//	hydrascope report RUN [-spans FILE]
+//	hydrascope diff A B [-tol 0.02]
+//
+// report loads a -series export (JSONL or CSV, sniffed from content) and
+// prints the run summary: the Table-2 failover phase timeline with
+// per-phase retransmission/RTO/deposit activity, replica health verdicts,
+// and a sorted per-series table. -spans adds the ft-TCP span summary.
+//
+// diff compares two runs. Two series exports compare per-series run
+// aggregates (counter totals, gauge mean/max) plus the failover phase
+// durations; two ttcpbench JSON files compare the deterministic fields
+// (throughput, events, frames) only — wall-clock fields are machine facts
+// and never gated. Any difference beyond -tol is a regression: exit 1.
+// Identical-seed runs diff clean and exit 0.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hydranet/internal/scope"
+)
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage:
+  hydrascope report RUN [-spans FILE]   render a run report
+  hydrascope diff A B [-tol 0.02]      diff two runs; exit 1 on regression
+`)
+	os.Exit(2)
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "report":
+		report(os.Args[2:])
+	case "diff":
+		diff(os.Args[2:])
+	default:
+		fmt.Fprintf(os.Stderr, "hydrascope: unknown subcommand %q\n", os.Args[1])
+		usage()
+	}
+}
+
+func report(args []string) {
+	fs := flag.NewFlagSet("report", flag.ExitOnError)
+	spansPath := fs.String("spans", "", "also summarize this span timeline JSON")
+	// As in diff: re-parse past the positional so trailing flags work.
+	fs.Parse(args)
+	rest := fs.Args()
+	if len(rest) > 1 {
+		fs.Parse(rest[1:])
+		if fs.NArg() != 0 {
+			usage()
+		}
+	}
+	if len(rest) < 1 {
+		usage()
+	}
+	run, err := scope.LoadRunFile(rest[0])
+	if err != nil {
+		fatal(err)
+	}
+	var spans *scope.SpanReport
+	if *spansPath != "" {
+		if spans, err = scope.LoadSpanFile(*spansPath); err != nil {
+			fatal(err)
+		}
+	}
+	if err := scope.WriteReport(os.Stdout, run, spans); err != nil {
+		fatal(err)
+	}
+}
+
+func diff(args []string) {
+	fs := flag.NewFlagSet("diff", flag.ExitOnError)
+	tol := fs.Float64("tol", 0.02, "relative tolerance before a difference is a regression")
+	// Accept flags on either side of the two positionals: stdlib flag stops
+	// at the first non-flag argument, so "diff A B -tol 0.05" needs the
+	// tail re-parsed.
+	fs.Parse(args)
+	rest := fs.Args()
+	if len(rest) > 2 {
+		fs.Parse(rest[2:])
+		if fs.NArg() != 0 {
+			usage()
+		}
+	}
+	if len(rest) < 2 {
+		usage()
+	}
+	pathA, pathB := rest[0], rest[1]
+
+	var findings []scope.Finding
+	var what string
+	if scope.IsBenchFile(pathA) || scope.IsBenchFile(pathB) {
+		what = "bench"
+		a, err := scope.LoadBenchFile(pathA)
+		if err != nil {
+			fatal(err)
+		}
+		b, err := scope.LoadBenchFile(pathB)
+		if err != nil {
+			fatal(err)
+		}
+		findings = scope.DiffBench(a, b, *tol)
+	} else {
+		what = "series"
+		a, err := scope.LoadRunFile(pathA)
+		if err != nil {
+			fatal(err)
+		}
+		b, err := scope.LoadRunFile(pathB)
+		if err != nil {
+			fatal(err)
+		}
+		findings = scope.DiffRuns(a, b, *tol)
+	}
+
+	if len(findings) == 0 {
+		fmt.Printf("hydrascope: %s diff clean (tol %.3g): %s == %s\n", what, *tol, pathA, pathB)
+		return
+	}
+	fmt.Printf("hydrascope: %d %s regression(s) beyond tol %.3g (A=%s B=%s):\n",
+		len(findings), what, *tol, pathA, pathB)
+	for _, f := range findings {
+		fmt.Printf("  %s\n", f)
+	}
+	os.Exit(1)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "hydrascope: %v\n", err)
+	os.Exit(2)
+}

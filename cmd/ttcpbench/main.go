@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"hydranet/internal/metrics"
+	"hydranet/internal/scope"
 	"hydranet/internal/sweep"
 	"hydranet/internal/testbed"
 )
@@ -36,27 +37,8 @@ type jobResult struct {
 	allocs uint64 // heap allocations during the run; valid only when serial
 }
 
-type benchEntry struct {
-	Case           string  `json:"case"`
-	BufLen         int     `json:"buf_len"`
-	ThroughputKBps float64 `json:"throughput_kbps"`
-	Events         uint64  `json:"events"`
-	Frames         uint64  `json:"frames"`
-	WallMS         float64 `json:"wall_ms"`
-	EventsPerSec   float64 `json:"events_per_sec"`
-	FramesPerSec   float64 `json:"frames_per_sec"`
-	AllocsPerEvent float64 `json:"allocs_per_event,omitempty"`
-}
-
-type benchFile struct {
-	Description string       `json:"description"`
-	TotalBytes  int          `json:"total_bytes"`
-	Seed        int64        `json:"seed"`
-	Parallel    int          `json:"parallel"`
-	GoMaxProcs  int          `json:"gomaxprocs"`
-	WallMS      float64      `json:"total_wall_ms"`
-	Entries     []benchEntry `json:"entries"`
-}
+// The JSON schema lives in internal/scope so hydrascope diff can gate on
+// the same structure this command writes.
 
 func main() {
 	total := flag.Int("bytes", 512*1024, "bytes transferred per measurement point")
@@ -66,6 +48,8 @@ func main() {
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "worker threads (1 = serial; also enables allocs/op in -json)")
 	jsonPath := flag.String("json", "", "write machine-readable results to this file")
 	pcapPath := flag.String("pcap", "", "additionally capture one primary-and-backup run (1024-byte writes) to this pcap file")
+	seriesPath := flag.String("series", "", "additionally export time series of one primary-and-backup run (1024-byte writes) to this file (JSONL, or CSV with a .csv extension)")
+	sampleEvery := flag.Duration("sample-every", 0, "telemetry sampling cadence for -series (default 100ms of virtual time)")
 	flag.Parse()
 
 	fmt.Printf("ttcp throughput measurements for HydraNet-FT (Figure 4)\n")
@@ -113,7 +97,7 @@ func main() {
 		header = append(header, c.String())
 	}
 	table := metrics.NewTable(header...)
-	var entries []benchEntry
+	var entries []scope.BenchEntry
 	for _, size := range testbed.Figure4Sizes {
 		row := []string{fmt.Sprintf("%d", size)}
 		for _, c := range testbed.Figure4Cases {
@@ -137,7 +121,7 @@ func main() {
 				row = append(row, fmt.Sprintf("%.0f", sum.Mean()))
 			}
 			jr := byKey[job{size: size, c: c, rep: 0}]
-			e := benchEntry{
+			e := scope.BenchEntry{
 				Case:           c.String(),
 				BufLen:         size,
 				ThroughputKBps: sum.Mean(),
@@ -176,8 +160,23 @@ func main() {
 		fmt.Printf("captured primary-and-backup run (1024-byte writes) to %s\n", *pcapPath)
 	}
 
+	if *seriesPath != "" {
+		// Same dedicated-run pattern as -pcap: sampling inside the sweep
+		// would add telemetry cost to every measurement point.
+		res := testbed.Run(testbed.Config{
+			Case: testbed.CasePrimaryBackup, BufLen: 1024, TotalBytes: *total,
+			Seed: *seed, Backups: *backups,
+			SeriesPath: *seriesPath, SampleEvery: *sampleEvery,
+		})
+		if res.Err != nil {
+			fmt.Fprintln(os.Stderr, "ttcpbench: series run:", res.Err)
+			os.Exit(1)
+		}
+		fmt.Printf("exported primary-and-backup series (1024-byte writes) to %s\n", *seriesPath)
+	}
+
 	if *jsonPath != "" {
-		bf := benchFile{
+		bf := scope.BenchFile{
 			Description: "HydraNet-FT simulator core performance per Figure-4 case",
 			TotalBytes:  *total,
 			Seed:        *seed,

@@ -1,0 +1,178 @@
+package hydranet
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"hydranet/internal/icmp"
+	"hydranet/internal/scope"
+)
+
+// TestGrayFailureDegradedBeforeDetector is the PR's headline scenario: a
+// backup that is slow — not crashed — stalls the acknowledgment chain, and
+// the health scorer must flag it Degraded strictly before the paper's
+// retransmission-threshold detector raises its first suspicion. The
+// detector cannot see the failure until the client has retransmitted
+// Threshold times under exponential RTO backoff (seconds); the scorer sees
+// the replica's deposit cursor trailing the cluster while retransmissions
+// flow, within a few sampling intervals of the first retransmit.
+func TestGrayFailureDegradedBeforeDetector(t *testing.T) {
+	net, client, rd, replicas := ftTopology(t, 11, 3)
+	if _, err := net.DeployFT(testSvc, rd, replicas,
+		FTOptions{Detector: DetectorParams{RetransmitThreshold: 3}}, echoAccept()); err != nil {
+		t.Fatal(err)
+	}
+
+	tel := net.StartSampler(SamplerConfig{
+		Every:  50 * time.Millisecond,
+		Health: &HealthConfig{},
+	})
+	tel.WatchReplicas(replicas...)
+
+	var suspicions []time.Duration
+	net.Bus().Subscribe(func(e Event) {
+		suspicions = append(suspicions, e.Time)
+	}, KindSuspicion)
+
+	net.Settle()
+	payload := make([]byte, 4<<20)
+	streamClient(t, net, client, payload)
+	net.RunFor(400 * time.Millisecond)
+
+	// Gray failure: the last backup's CPU degrades to a quarter-second per
+	// frame. It stays alive, answers probes eventually, trickles deposits
+	// — and strangles the ack chain.
+	slow := replicas[len(replicas)-1]
+	slow.SetProcessing(250*time.Millisecond, 0)
+	stallAt := net.Now()
+	net.RunFor(60 * time.Second)
+
+	// The race starts at the stall: connection-establishment churn can trip
+	// the detector spuriously beforehand, so compare reaction times from
+	// the moment the gray failure begins.
+	var suspicionAt time.Duration
+	for _, at := range suspicions {
+		if at > stallAt {
+			suspicionAt = at
+			break
+		}
+	}
+	if suspicionAt == 0 {
+		t.Fatal("detector never raised a suspicion after the stall — it did not bite")
+	}
+	scorer := tel.Scorer()
+	degradedAt, ok := scorer.FirstDegradedAt(slow.Name())
+	if !ok {
+		t.Fatalf("slow replica %s never scored Degraded (verdict %v)",
+			slow.Name(), scorer.Verdict(slow.Name()))
+	}
+	if degradedAt <= stallAt {
+		t.Fatalf("degraded at %v, before the stall at %v", degradedAt, stallAt)
+	}
+	if degradedAt >= suspicionAt {
+		t.Fatalf("health scorer flagged degraded at %v, detector suspected at %v — scorer must win",
+			degradedAt, suspicionAt)
+	}
+	t.Logf("stall %v → degraded %v → suspicion %v (scorer led by %v)",
+		stallAt, degradedAt, suspicionAt, suspicionAt-degradedAt)
+
+	// Attribution: the healthy primary keeps the cluster-max deposit
+	// cursor and must never be blamed for the straggler's lag.
+	if at, wrongly := scorer.FirstDegradedAt(replicas[0].Name()); wrongly {
+		t.Fatalf("primary %s wrongly degraded at %v", replicas[0].Name(), at)
+	}
+}
+
+// TestSamplerZeroCostWhenStopped pins the facade's promise: telemetry is
+// zero-cost unless a sampler is actively running. A net that had a sampler
+// attached, ticking, and then stopped must perform a ping round trip with
+// exactly as many heap allocations as a net that never saw one.
+func TestSamplerZeroCostWhenStopped(t *testing.T) {
+	pingAllocs := func(attach bool) float64 {
+		net := New(Config{Seed: 1})
+		a := net.AddHost("a", HostConfig{})
+		b := net.AddHost("b", HostConfig{})
+		net.Link(a, b, LinkConfig{Rate: 100_000_000, Delay: 100 * time.Microsecond})
+		net.AutoRoute()
+		if attach {
+			tel := net.StartSampler(SamplerConfig{Every: time.Millisecond})
+			net.RunFor(5 * time.Millisecond) // let it tick for real
+			tel.Stop()
+		}
+		done := func(icmp.EchoResult) {}
+		a.Ping(b.Addr(), time.Second, done) // warm stacks and pools
+		net.RunFor(50 * time.Millisecond)
+		return testing.AllocsPerRun(100, func() {
+			a.Ping(b.Addr(), time.Second, done)
+			net.RunFor(10 * time.Millisecond)
+		})
+	}
+	base := pingAllocs(false)
+	stopped := pingAllocs(true)
+	if stopped != base {
+		t.Fatalf("round trip with stopped sampler allocates %v/op, baseline %v/op — idle telemetry must add 0",
+			stopped, base)
+	}
+}
+
+// TestSeriesExportIdenticalSeedsDiffClean runs the same seeded failover
+// scenario twice, exports both telemetry streams, and requires the
+// hydrascope comparison to come back empty — the determinism contract
+// extended to the new observability layer. The exports must in fact be
+// byte-identical; DiffRuns is additionally exercised because it is what CI
+// gates on.
+func TestSeriesExportIdenticalSeedsDiffClean(t *testing.T) {
+	runOnce := func() []byte {
+		net, client, rd, replicas := ftTopology(t, 5, 3)
+		svc, err := net.DeployFT(testSvc, rd, replicas,
+			FTOptions{Detector: DetectorParams{RetransmitThreshold: 3}}, echoAccept())
+		if err != nil {
+			t.Fatal(err)
+		}
+		probe := net.NewFailoverProbe()
+		tel := net.StartSampler(SamplerConfig{
+			Every:  50 * time.Millisecond,
+			Health: &HealthConfig{},
+		})
+		tel.AttachFailover(probe)
+		tel.WatchReplicas(replicas...)
+		net.Settle()
+
+		payload := make([]byte, 512*1024)
+		received := streamClient(t, net, client, payload)
+		net.RunFor(400 * time.Millisecond)
+		svc.CrashPrimary()
+		for *received < len(payload) && net.Now() < 2*time.Minute {
+			net.RunFor(time.Second)
+		}
+		if *received != len(payload) {
+			t.Fatalf("client received %d of %d bytes", *received, len(payload))
+		}
+		tel.Stop()
+		var buf bytes.Buffer
+		if err := tel.WriteJSONL(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+
+	exportA, exportB := runOnce(), runOnce()
+	if !bytes.Equal(exportA, exportB) {
+		t.Error("identical-seed exports differ byte-for-byte")
+	}
+	runA, err := scope.LoadRun(bytes.NewReader(exportA))
+	if err != nil {
+		t.Fatal(err)
+	}
+	runB, err := scope.LoadRun(bytes.NewReader(exportB))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if findings := scope.DiffRuns(runA, runB, 0.001); len(findings) != 0 {
+		t.Fatalf("identical-seed runs diff dirty: %v", findings)
+	}
+	if runA.Meta.Failover == nil || !runA.Meta.Failover.Complete {
+		t.Fatalf("export missing the completed failover timeline: %+v", runA.Meta.Failover)
+	}
+}

@@ -134,6 +134,11 @@ func (p *Pool) SetPoison(on bool) { p.poison.Store(on) }
 // the free lists (allocated fresh memory).
 func (p *Pool) Stats() (gets, puts, misses uint64) { return p.gets, p.puts, p.misses }
 
+// Outstanding returns the frames currently checked out (Gets minus
+// Releases) — the pool-occupancy gauge a telemetry sampler reads. A steady
+// climb under constant load means a frame leak.
+func (p *Pool) Outstanding() int { return int(p.gets - p.puts) }
+
 // ClassSize returns the backing-array capacity the pool would use for an
 // n-byte payload (headroom included), or n+Headroom for oversize requests.
 // Consumers that maintain their own frame rings (the flight recorder) size

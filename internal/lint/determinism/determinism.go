@@ -48,6 +48,10 @@ var coveredPkgs = []string{
 	"internal/tcp",
 	"internal/ipv4",
 	"internal/redirector",
+	// The telemetry sampler runs on the virtual clock inside the
+	// simulation loop: a wall-clock read or map-ordered emission there
+	// would make series exports (and hydrascope diffs of them) flap.
+	"internal/series",
 }
 
 // bannedTimeFuncs read the wall clock or the runtime timer heap.

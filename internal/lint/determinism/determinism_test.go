@@ -12,6 +12,10 @@ func TestCoveredPackage(t *testing.T) {
 	linttest.Run(t, determinism.Analyzer, filepath.Join(linttest.TestData(t), "src", "internal", "sim"))
 }
 
+func TestCoveredSeriesPackage(t *testing.T) {
+	linttest.Run(t, determinism.Analyzer, filepath.Join(linttest.TestData(t), "src", "internal", "series"))
+}
+
 func TestUncoveredPackage(t *testing.T) {
 	linttest.Run(t, determinism.Analyzer, filepath.Join(linttest.TestData(t), "src", "other"))
 }

@@ -1,0 +1,68 @@
+// Package series is determinism-analyzer testdata. Its import path ends
+// in internal/series, so the telemetry sampler's package is inside the
+// covered set: the sampler runs on the virtual clock inside the simulation
+// loop, and the tempting mistakes below — stamping samples with the wall
+// clock, jittering the cadence from the global source, emitting a series
+// set in map order — must each be caught.
+package series
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+var sink any
+
+type point struct {
+	t time.Duration
+	v float64
+}
+
+type set struct {
+	byName map[string]*[]point
+}
+
+// observeWallClock stamps a sample with the host's clock instead of the
+// scheduler's virtual now.
+func observeWallClock(pts *[]point, v float64) {
+	*pts = append(*pts, point{t: time.Duration(time.Now().UnixNano()), v: v}) // want "time.Now reads the wall clock"
+}
+
+// jitterCadence spreads sampler ticks with the unseeded global source.
+func jitterCadence(every time.Duration) time.Duration {
+	return every + time.Duration(rand.Int63n(int64(every))) // want "global rand.Int63n is unseeded"
+}
+
+// exportUnordered walks the series map directly: export order would change
+// run to run, and identical-seed runs would no longer diff clean.
+func exportUnordered(s *set) []string {
+	var names []string
+	for name := range s.byName { // want "map iteration order is nondeterministic"
+		names = append(names, name)
+	}
+	return names
+}
+
+// exportSorted is the sanctioned shape: collect under an annotation that
+// names why the order doesn't matter, then repair it.
+func exportSorted(s *set) []string {
+	var names []string
+	//hydralint:nondeterministic collect-then-sort; order is repaired below
+	for name := range s.byName {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// asyncFlush moves the export off the simulation goroutine — scheduling
+// order is not part of the virtual clock.
+func asyncFlush(s *set) {
+	go func() { sink = exportSorted(s) }() // want "goroutine spawned in the deterministic simulation core"
+}
+
+// virtualClockMath is pure duration arithmetic: clean.
+func virtualClockMath(now, every time.Duration) time.Duration {
+	return now + every
+}

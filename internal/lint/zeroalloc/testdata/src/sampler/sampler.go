@@ -1,0 +1,87 @@
+// Package sampler is zeroalloc-analyzer testdata shaped like the
+// telemetry sampler's hot path: a periodic tick that observes values into
+// pre-allocated rings. The tick runs inside the simulation loop whether or
+// not anyone ever exports the series, so its promise is the same as the
+// obs bus's — free beyond the ring writes. Each function below seeds one
+// way that promise quietly breaks.
+package sampler
+
+import "fmt"
+
+type point struct {
+	t int64
+	v float64
+}
+
+type ring struct {
+	pts  []point
+	head int
+	n    int
+}
+
+type sampler struct {
+	rings []ring
+	ticks uint64
+}
+
+var sink any
+
+// observe is the canonical ring write: index arithmetic into storage that
+// already exists. Must stay clean.
+//
+//hydralint:zeroalloc
+func (r *ring) observe(t int64, v float64) {
+	if len(r.pts) == 0 {
+		return
+	}
+	r.pts[r.head] = point{t: t, v: v}
+	r.head = (r.head + 1) % len(r.pts)
+	if r.n < len(r.pts) {
+		r.n++
+	}
+}
+
+// tick is the root: it fans one virtual instant out to every ring via a
+// same-package helper, which therefore inherits the constraint.
+//
+//hydralint:zeroalloc
+func (s *sampler) tick(now int64) {
+	s.ticks++
+	for i := range s.rings {
+		scrape(&s.rings[i], now)
+	}
+}
+
+// scrape is NOT annotated, but tick reaches it, so its debug print is on
+// the zeroalloc path.
+func scrape(r *ring, now int64) {
+	r.observe(now, float64(r.n))
+	fmt.Printf("sampled %d points\n", r.n) // want "fmt.Printf allocates in zeroalloc function scrape \(on the zeroalloc path of tick\)"
+}
+
+// tickTraced boxes the tick counter into an any-typed trace hook on every
+// tick. (Passing the *sampler itself would be clean — pointers fit the
+// iface word — which is exactly why the scalar is the tempting mistake.)
+//
+//hydralint:zeroalloc
+func (s *sampler) tickTraced(now int64) {
+	trace(s.ticks) // want "argument boxes uint64 into any in zeroalloc function tickTraced"
+	s.tick(now)
+}
+
+// tickDeferred builds a capturing closure per tick — the classic
+// "schedule the next tick" allocation the real sampler avoids by caching
+// its fire function once at construction.
+//
+//hydralint:zeroalloc
+func (s *sampler) tickDeferred(now int64) {
+	schedule(func() { s.tick(now) }) // want "closure captures .* and forces a heap allocation in zeroalloc function tickDeferred"
+}
+
+// export runs offline, after the simulation: unannotated, may allocate.
+func (s *sampler) export(name string) string {
+	return fmt.Sprintf("%s: %d ticks", name, s.ticks)
+}
+
+func trace(v any)       { sink = v }
+func schedule(f func()) { f() }

@@ -11,3 +11,7 @@ import (
 func TestHotPath(t *testing.T) {
 	linttest.Run(t, zeroalloc.Analyzer, filepath.Join(linttest.TestData(t), "src", "hotpath"))
 }
+
+func TestSamplerPath(t *testing.T) {
+	linttest.Run(t, zeroalloc.Analyzer, filepath.Join(linttest.TestData(t), "src", "sampler"))
+}

@@ -209,6 +209,28 @@ func (nd *Node) Restart() {
 	}
 }
 
+// SetProc changes the node's CPU cost model mid-run — the gray-failure
+// injection knob: a large per-frame delay models a replica that is alive
+// (it answers, eventually) but pathologically slow, the "degraded, not
+// dead" case the paper's fail-stop detector cannot distinguish.
+func (nd *Node) SetProc(procDelay, procPerByte time.Duration) {
+	nd.procDelay = procDelay
+	nd.procPerByte = procPerByte
+}
+
+// ProcBacklog reports how far the node's serial CPU is running behind
+// frame arrival: the time until a frame delivered right now would actually
+// be processed. Zero on an idle or keeping-up node; on a gray-failing one
+// it grows with every queued frame. This is the host-local ingress-queue
+// depth a node's own telemetry agent can always export, even when the
+// node looks alive from the network.
+func (nd *Node) ProcBacklog() time.Duration {
+	if b := nd.cpuFree - nd.net.sched.Now(); b > 0 {
+		return b
+	}
+	return 0
+}
+
 // Stats returns cumulative frames sent, received and dropped at this node.
 func (nd *Node) Stats() (sent, received, dropped uint64) {
 	return nd.sent, nd.received, nd.dropped
@@ -338,6 +360,12 @@ func (l *Link) SetLoss(p float64) { l.cfg.Loss = p }
 // loss, and frames dropped at the queue.
 func (l *Link) Stats() (tx, lost, queueDrop [2]uint64) {
 	return l.txFrames, l.lost, l.queueDrop
+}
+
+// Backlogs returns the bytes currently queued in each direction (index =
+// sending side) — the instantaneous queue depths a telemetry sampler reads.
+func (l *Link) Backlogs() (ab, ba int) {
+	return l.backlog[0], l.backlog[1]
 }
 
 func (l *Link) serialization(size int) time.Duration {

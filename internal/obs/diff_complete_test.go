@@ -1,0 +1,105 @@
+package obs
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"hydranet/internal/metrics"
+)
+
+// fillUints sets every uint64 field reachable from v (descending into
+// structs and non-nil pointers) to x. Slices, maps and non-uint64 scalars
+// are left alone: gauges and identity fields are exactly the non-uint64
+// fields of the snapshot types.
+func fillUints(v reflect.Value, x uint64) {
+	switch v.Kind() {
+	case reflect.Uint64:
+		v.SetUint(x)
+	case reflect.Pointer:
+		if !v.IsNil() {
+			fillUints(v.Elem(), x)
+		}
+	case reflect.Struct:
+		for i := 0; i < v.NumField(); i++ {
+			fillUints(v.Field(i), x)
+		}
+	case reflect.Slice:
+		for i := 0; i < v.Len(); i++ {
+			fillUints(v.Index(i), x)
+		}
+	}
+}
+
+// checkUints asserts every uint64 field reachable from v equals want,
+// reporting each miss with its field path.
+func checkUints(t *testing.T, path string, v reflect.Value, want uint64) {
+	t.Helper()
+	switch v.Kind() {
+	case reflect.Uint64:
+		if v.Uint() != want {
+			t.Errorf("%s = %d, want %d: counter not diffed (Snapshot.Diff is missing this field)",
+				path, v.Uint(), want)
+		}
+	case reflect.Pointer:
+		if v.IsNil() {
+			t.Errorf("%s lost in diff (nil pointer)", path)
+			return
+		}
+		checkUints(t, path, v.Elem(), want)
+	case reflect.Struct:
+		tp := v.Type()
+		for i := 0; i < v.NumField(); i++ {
+			checkUints(t, path+"."+tp.Field(i).Name, v.Field(i), want)
+		}
+	case reflect.Slice:
+		for i := 0; i < v.Len(); i++ {
+			checkUints(t, fmt.Sprintf("%s[%d]", path, i), v.Index(i), want)
+		}
+	}
+}
+
+// template builds a snapshot with one host, one link and one redirector,
+// every optional pointer allocated — the maximal shape Diff must cover.
+func template() Snapshot {
+	return Snapshot{
+		Failover: &FailoverReport{},
+		Hosts: []HostSnapshot{{
+			Name: "h0", Alive: true,
+			RTT:     &metrics.HistogramSnapshot{},
+			Manager: &ManagerCounters{},
+		}},
+		Links:       []LinkSnapshot{{A: "h0", B: "h1"}},
+		Redirectors: []RedirectorSnapshot{{Name: "rd", Mgmt: &MgmtCounters{}}},
+	}
+}
+
+// TestSnapshotDiffCoversEveryCounter locks Diff to the snapshot schema by
+// reflection: every uint64 field anywhere in the snapshot is a cumulative
+// counter and must be subtracted. Fill the current snapshot's counters with
+// 7 and the previous with 3; any field whose diff is not 4 was either
+// copied through (7: the subtraction was forgotten) or zeroed (0: dropped
+// from a composite literal). Adding a counter field to any snapshot struct
+// without teaching Diff about it fails here.
+func TestSnapshotDiffCoversEveryCounter(t *testing.T) {
+	cur, prev := template(), template()
+	fillUints(reflect.ValueOf(&cur).Elem(), 7)
+	fillUints(reflect.ValueOf(&prev).Elem(), 3)
+	// The histogram diff recomputes interval buckets from the snapshots'
+	// bucket lists; scalar-filled snapshots have none, which is fine — the
+	// Count field still must subtract.
+	d := cur.Diff(prev)
+	checkUints(t, "Snapshot", reflect.ValueOf(d), 4)
+
+	// Gauges pass through from the current snapshot, not the previous one.
+	cur.Hosts[0].TCP.Conns = 9
+	prev.Hosts[0].TCP.Conns = 2
+	cur.Hosts[0].Alive = false
+	d = cur.Diff(prev)
+	if d.Hosts[0].TCP.Conns != 9 {
+		t.Errorf("Conns gauge = %d, want current value 9", d.Hosts[0].TCP.Conns)
+	}
+	if d.Hosts[0].Alive {
+		t.Error("Alive flag not taken from current snapshot")
+	}
+}

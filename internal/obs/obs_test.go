@@ -212,3 +212,59 @@ func TestSnapshotDiff(t *testing.T) {
 		t.Errorf("new host not passed through: %+v", d.Hosts[1])
 	}
 }
+
+func TestFailoverProbeBackToBackFailures(t *testing.T) {
+	// A second crash while the first timeline is still open — the promoted
+	// backup dies mid-reconfiguration, or an unrelated replica fail-stops —
+	// must not corrupt the first timeline: the probe documents the FIRST
+	// failover, and every phase it reports has to belong to it.
+	now := time.Duration(0)
+	b := NewBus(testClock(&now))
+	p := NewFailoverProbe(b)
+
+	fired := 0
+	p.OnFailover(func(FailoverReport) { fired++ })
+
+	now = 100 * time.Millisecond
+	b.Publish(Event{Kind: KindNodeCrash, Node: "s0"})
+	now = 300 * time.Millisecond
+	b.Publish(Event{Kind: KindSuspicion, Node: "s1"})
+	// Second failure lands between suspicion and promotion of the first.
+	now = 350 * time.Millisecond
+	b.Publish(Event{Kind: KindNodeCrash, Node: "s1"})
+	now = 380 * time.Millisecond
+	b.Publish(Event{Kind: KindSuspicion, Node: "s2"})
+	now = 500 * time.Millisecond
+	b.Publish(Event{Kind: KindReconfig, Node: "rd"})
+	now = 520 * time.Millisecond
+	b.Publish(Event{Kind: KindPromotion, Node: "s2"})
+	now = 600 * time.Millisecond
+	b.Publish(Event{Kind: KindClientDeliver, Node: "client"})
+	// Echoes of the second failover's cleanup must all be ignored.
+	now = 700 * time.Millisecond
+	b.Publish(Event{Kind: KindReconfig, Node: "rd"})
+	b.Publish(Event{Kind: KindPromotion, Node: "s2"})
+
+	r := p.Report()
+	if !r.Complete {
+		t.Fatalf("report incomplete: %+v", r)
+	}
+	if r.CrashAt != 100*time.Millisecond {
+		t.Errorf("CrashAt = %v, want the first crash at 100ms", r.CrashAt)
+	}
+	if r.SuspicionAt != 300*time.Millisecond {
+		t.Errorf("SuspicionAt = %v, want the first suspicion at 300ms", r.SuspicionAt)
+	}
+	if r.Detection != 200*time.Millisecond {
+		t.Errorf("Detection = %v, want 200ms", r.Detection)
+	}
+	if r.PromotionAt != 520*time.Millisecond {
+		t.Errorf("PromotionAt = %v", r.PromotionAt)
+	}
+	if r.ClientStall != 500*time.Millisecond {
+		t.Errorf("ClientStall = %v, want 500ms", r.ClientStall)
+	}
+	if fired != 1 {
+		t.Errorf("OnFailover fired %d times, want exactly once", fired)
+	}
+}

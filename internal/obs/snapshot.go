@@ -75,14 +75,18 @@ type ManagerCounters struct {
 
 // HostSnapshot aggregates one host's counters across every layer.
 type HostSnapshot struct {
-	Name    string                     `json:"name"`
-	Alive   bool                       `json:"alive"`
-	Frames  FrameCounters              `json:"frames"`
-	IP      IPCounters                 `json:"ip"`
-	TCP     TCPCounters                `json:"tcp"`
-	Conns   ConnCounters               `json:"conn_totals"`
-	RTT     *metrics.HistogramSnapshot `json:"rtt_ms,omitempty"`
-	Manager *ManagerCounters           `json:"manager,omitempty"`
+	Name  string `json:"name"`
+	Alive bool   `json:"alive"`
+	// ProcBacklog is a gauge, not a counter: how far the host's serial CPU
+	// is running behind frame arrival at snapshot time. Diff passes the
+	// current value through.
+	ProcBacklog time.Duration              `json:"proc_backlog_ns,omitempty"`
+	Frames      FrameCounters              `json:"frames"`
+	IP          IPCounters                 `json:"ip"`
+	TCP         TCPCounters                `json:"tcp"`
+	Conns       ConnCounters               `json:"conn_totals"`
+	RTT         *metrics.HistogramSnapshot `json:"rtt_ms,omitempty"`
+	Manager     *ManagerCounters           `json:"manager,omitempty"`
 }
 
 // LinkDirCounters are one direction of a link (sending-side indexed).

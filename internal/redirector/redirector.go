@@ -134,6 +134,11 @@ func (r *Redirector) Services() []ServiceKey {
 	return out
 }
 
+// NumServices returns the number of installed table entries — the
+// redirector table-size gauge, read per sampling tick without the sort
+// Services pays for.
+func (r *Redirector) NumServices() int { return len(r.table) }
+
 // AddTarget adds a scaling-mode replica for key, creating the entry if
 // needed.
 func (r *Redirector) AddTarget(key ServiceKey, t Target) {

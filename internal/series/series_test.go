@@ -1,0 +1,169 @@
+package series
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"hydranet/internal/sim"
+)
+
+func TestSeriesRingEviction(t *testing.T) {
+	s := newSeries("x", Gauge, "", 4)
+	for i := 0; i < 10; i++ {
+		s.Observe(time.Duration(i)*time.Millisecond, float64(i))
+	}
+	if s.Len() != 4 || s.Cap() != 4 {
+		t.Fatalf("len=%d cap=%d, want 4/4", s.Len(), s.Cap())
+	}
+	if s.Count() != 10 {
+		t.Fatalf("count=%d, want 10", s.Count())
+	}
+	// Retained window is the last four points, oldest first.
+	for i := 0; i < 4; i++ {
+		p := s.At(i)
+		want := float64(6 + i)
+		if p.V != want || p.T != time.Duration(6+i)*time.Millisecond {
+			t.Fatalf("At(%d)=%+v, want v=%v", i, p, want)
+		}
+	}
+	if s.Total() != 45 || s.Max() != 9 || s.Last() != 9 {
+		t.Fatalf("total=%v max=%v last=%v, want 45/9/9", s.Total(), s.Max(), s.Last())
+	}
+	if got := s.Mean(); got != 4.5 {
+		t.Fatalf("mean=%v, want 4.5", got)
+	}
+	pts := s.Points(nil)
+	if len(pts) != 4 || pts[0].V != 6 || pts[3].V != 9 {
+		t.Fatalf("Points=%v", pts)
+	}
+}
+
+func TestObserveDoesNotAllocate(t *testing.T) {
+	s := newSeries("x", Counter, "", 128)
+	var i int
+	allocs := testing.AllocsPerRun(1000, func() {
+		s.Observe(time.Duration(i), float64(i))
+		i++
+	})
+	if allocs != 0 {
+		t.Fatalf("Observe allocates %.1f/op, want 0", allocs)
+	}
+}
+
+func TestSetOrderAndIdentity(t *testing.T) {
+	set := NewSet(8)
+	c := set.Counter("b.count", "segments")
+	g := set.Gauge("a.depth", "bytes")
+	if set.Counter("b.count", "segments") != c {
+		t.Fatal("Counter did not return the existing series")
+	}
+	if set.Get("a.depth") != g || set.Get("missing") != nil {
+		t.Fatal("Get mismatch")
+	}
+	// Iteration follows creation order, not name order.
+	var names []string
+	set.Each(func(s *Series) { names = append(names, s.Name()) })
+	if len(names) != 2 || names[0] != "b.count" || names[1] != "a.depth" {
+		t.Fatalf("order=%v, want [b.count a.depth]", names)
+	}
+}
+
+func TestWriteJSONLRoundTrip(t *testing.T) {
+	set := NewSet(8)
+	c := set.Counter("retransmits", "segments")
+	c.Observe(100*time.Millisecond, 2)
+	c.Observe(200*time.Millisecond, 3)
+	var buf bytes.Buffer
+	meta := Meta{Every: 100 * time.Millisecond, Ticks: 2, Seed: 7}
+	if err := WriteJSONL(&buf, meta, set); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(&buf)
+	if !sc.Scan() {
+		t.Fatal("no meta line")
+	}
+	var gotMeta Meta
+	if err := json.Unmarshal(sc.Bytes(), &gotMeta); err != nil {
+		t.Fatal(err)
+	}
+	if gotMeta.Version != FormatVersion || gotMeta.Every != 100*time.Millisecond || gotMeta.Seed != 7 {
+		t.Fatalf("meta=%+v", gotMeta)
+	}
+	if !sc.Scan() {
+		t.Fatal("no series line")
+	}
+	var d Data
+	if err := json.Unmarshal(sc.Bytes(), &d); err != nil {
+		t.Fatal(err)
+	}
+	if d.Name != "retransmits" || d.Kind != "counter" || d.Total != 5 || len(d.Points) != 2 {
+		t.Fatalf("data=%+v", d)
+	}
+	if d.Points[1].T != 200*time.Millisecond || d.Points[1].V != 3 {
+		t.Fatalf("points=%+v", d.Points)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	set := NewSet(8)
+	set.Gauge("depth", "bytes").Observe(time.Second, 42)
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, Meta{Every: time.Second, Ticks: 1}, set); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines=%q", lines)
+	}
+	if !strings.HasPrefix(lines[0], "# hydranet-series v1 every_ns=1000000000") {
+		t.Fatalf("header=%q", lines[0])
+	}
+	if lines[2] != "depth,gauge,bytes,1000000000,42" {
+		t.Fatalf("row=%q", lines[2])
+	}
+}
+
+func TestSamplerCadenceAndStop(t *testing.T) {
+	sched := sim.NewScheduler(1)
+	sm := NewSampler(sched, 10*time.Millisecond)
+	var at []time.Duration
+	sm.OnSample(func(now time.Duration) { at = append(at, now) })
+	sm.Start()
+	sm.Start() // idempotent
+	sched.RunUntil(35 * time.Millisecond)
+	if len(at) != 3 {
+		t.Fatalf("ticks=%v, want 3 (10/20/30ms)", at)
+	}
+	for i, want := range []time.Duration{10, 20, 30} {
+		if at[i] != want*time.Millisecond {
+			t.Fatalf("tick %d at %v, want %vms", i, at[i], want)
+		}
+	}
+	if sm.Ticks() != 3 || !sm.Running() {
+		t.Fatalf("ticks=%d running=%v", sm.Ticks(), sm.Running())
+	}
+	sm.Stop()
+	sched.RunUntil(100 * time.Millisecond)
+	if len(at) != 3 || sm.Running() {
+		t.Fatalf("sampler ticked after Stop: %v", at)
+	}
+}
+
+func TestSamplerTickDoesNotAllocate(t *testing.T) {
+	sched := sim.NewScheduler(1)
+	sm := NewSampler(sched, time.Millisecond)
+	s := newSeries("x", Gauge, "", 64)
+	sm.OnSample(func(now time.Duration) { s.Observe(now, 1) })
+	sm.Start()
+	sched.RunUntil(5 * time.Millisecond) // warm the timer free-list
+	allocs := testing.AllocsPerRun(200, func() {
+		sched.RunUntil(sched.Now() + time.Millisecond)
+	})
+	if allocs != 0 {
+		t.Fatalf("sampler tick allocates %.1f/op, want 0", allocs)
+	}
+}

@@ -226,6 +226,17 @@ func (c *Conn) State() State { return c.state }
 // Stats returns a snapshot of the connection counters.
 func (c *Conn) Stats() ConnStats { return c.stats }
 
+// SRTT returns the smoothed round-trip time estimate (zero before the
+// first valid measurement).
+func (c *Conn) SRTT() time.Duration { return c.rto.srtt }
+
+// RTO returns the current retransmission timeout, exponential backoff
+// included.
+func (c *Conn) RTO() time.Duration { return c.rto.current() }
+
+// CongestionWindow returns the congestion window in bytes.
+func (c *Conn) CongestionWindow() int { return c.cwnd }
+
 // ISS returns the initial send sequence number.
 func (c *Conn) ISS() Seq { return c.iss }
 

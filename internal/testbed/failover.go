@@ -39,6 +39,13 @@ type FailoverConfig struct {
 	FlightPrefix string
 	// SpansPath, if set, writes the per-connection span timeline JSON here.
 	SpansPath string
+	// SeriesPath, if set, exports sampled time series for the run (JSONL,
+	// or CSV if the path ends in .csv), including per-replica health
+	// verdicts from the gray-failure scorer and the failover phase report.
+	SeriesPath string
+	// SampleEvery is the telemetry sampling cadence (default 100 ms of
+	// virtual time). Used only with SeriesPath.
+	SampleEvery time.Duration
 }
 
 // FailoverResult reports what happened.
@@ -107,14 +114,26 @@ func MeasureFailover(cfg FailoverConfig) FailoverResult {
 	}
 	var flight *hydranet.FlightRecorder
 	var probe *hydranet.FailoverProbe
+	if cfg.FlightPrefix != "" || cfg.SeriesPath != "" {
+		probe = net.NewFailoverProbe()
+	}
 	if cfg.FlightPrefix != "" {
 		flight = net.StartFlightRecorder(0, 0)
-		probe = net.NewFailoverProbe()
 		flight.DumpOnFailover(probe, cfg.FlightPrefix)
 	}
 	var spans *hydranet.SpanCollector
-	if cfg.SpansPath != "" {
+	if cfg.SpansPath != "" || cfg.SeriesPath != "" {
 		spans = net.NewSpanCollector()
+	}
+	var tel *hydranet.Telemetry
+	if cfg.SeriesPath != "" {
+		tel = net.StartSampler(hydranet.SamplerConfig{
+			Every:  cfg.SampleEvery,
+			Spans:  spans,
+			Health: &hydranet.HealthConfig{},
+		})
+		tel.AttachFailover(probe)
+		tel.WatchReplicas(replicas...)
 	}
 
 	svc := hydranet.ServiceID{Addr: ServiceAddr, Port: ServicePort}
@@ -189,7 +208,7 @@ func MeasureFailover(cfg FailoverConfig) FailoverResult {
 			panic(err)
 		}
 	}
-	if spans != nil {
+	if spans != nil && cfg.SpansPath != "" {
 		f, err := os.Create(cfg.SpansPath)
 		if err != nil {
 			panic(err)
@@ -199,6 +218,12 @@ func MeasureFailover(cfg FailoverConfig) FailoverResult {
 			panic(err)
 		}
 		if err := f.Close(); err != nil {
+			panic(err)
+		}
+	}
+	if tel != nil {
+		tel.Stop()
+		if err := tel.WriteFile(cfg.SeriesPath); err != nil {
 			panic(err)
 		}
 	}

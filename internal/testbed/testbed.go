@@ -108,6 +108,12 @@ type Config struct {
 	// frame plus the redirector's pre-encapsulation tunnel copies — to
 	// this pcap file.
 	PcapPath string
+	// SeriesPath, if set, exports sampled time series for the measured
+	// transfer (JSONL, or CSV if the path ends in .csv).
+	SeriesPath string
+	// SampleEvery is the telemetry sampling cadence (default 100 ms of
+	// virtual time). Used only with SeriesPath.
+	SampleEvery time.Duration
 }
 
 // ServiceAddr is the replicated service's virtual address — a host that
@@ -278,6 +284,12 @@ func run(cfg Config) (ttcp.Result, *hydranet.Net) {
 			panic(err)
 		}
 	}
+	// The telemetry sampler attaches at the same point, for the same
+	// reason: its first tick then covers the measured stream from byte 0.
+	var tel *hydranet.Telemetry
+	if cfg.SeriesPath != "" {
+		tel = net.StartSampler(hydranet.SamplerConfig{Every: cfg.SampleEvery})
+	}
 
 	// Generous ceiling: slow small-packet runs take tens of virtual
 	// seconds; a wedged run stops here instead of spinning forever.
@@ -287,6 +299,12 @@ func run(cfg Config) (ttcp.Result, *hydranet.Net) {
 	}
 	if pcapFile != nil {
 		if err := pcapFile.Close(); err != nil {
+			panic(err)
+		}
+	}
+	if tel != nil {
+		tel.Stop()
+		if err := tel.WriteFile(cfg.SeriesPath); err != nil {
 			panic(err)
 		}
 	}

@@ -91,10 +91,11 @@ func (n *Net) hostSnapshot(h *Host) obs.HostSnapshot {
 	sent, recv, drop := h.node.Stats()
 	tcps := h.tcp.Stats()
 	hs := obs.HostSnapshot{
-		Name:   h.name,
-		Alive:  h.node.Alive(),
-		Frames: obs.FrameCounters{Sent: sent, Received: recv, Dropped: drop},
-		IP:     obs.IPCounters(h.ip.Stats()),
+		Name:        h.name,
+		Alive:       h.node.Alive(),
+		ProcBacklog: h.node.ProcBacklog(),
+		Frames:      obs.FrameCounters{Sent: sent, Received: recv, Dropped: drop},
+		IP:          obs.IPCounters(h.ip.Stats()),
 		TCP: obs.TCPCounters{
 			SegsIn:      tcps.SegsIn,
 			SegsOut:     tcps.SegsOut,

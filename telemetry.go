@@ -1,0 +1,355 @@
+package hydranet
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"hydranet/internal/metrics"
+	"hydranet/internal/series"
+)
+
+// Time-series re-exports: the ring-buffer layer lives in internal/series;
+// harness code configures and reads it through these aliases.
+type (
+	// SeriesSet is an ordered registry of time series.
+	SeriesSet = series.Set
+	// TimeSeries is one ring-buffered series.
+	TimeSeries = series.Series
+	// HealthConfig tunes the gray-failure health scorer.
+	HealthConfig = series.HealthConfig
+	// HealthScorer classifies replicas healthy/degraded/dead from sampled
+	// series.
+	HealthScorer = series.HealthScorer
+	// HealthVerdict is a replica health classification.
+	HealthVerdict = series.Verdict
+)
+
+// Health verdicts.
+const (
+	HealthHealthy  = series.Healthy
+	HealthDegraded = series.Degraded
+	HealthDead     = series.Dead
+)
+
+// SamplerConfig configures Net.StartSampler.
+type SamplerConfig struct {
+	// Every is the sampling cadence (default 100 ms of virtual time).
+	Every time.Duration
+	// Capacity is the per-series ring size in points (default 1024).
+	Capacity int
+	// MaxConns caps how many live connections per host get per-connection
+	// series (srtt/rto/cwnd), in the stack's deterministic sorted order.
+	// Default 4; connections beyond the cap still count in host totals.
+	MaxConns int
+	// Spans, if set, samples interval ack-chain-lag and deposit-stall
+	// statistics from the collector.
+	Spans *SpanCollector
+	// Health, if non-nil, runs a HealthScorer over the replicas registered
+	// with Telemetry.WatchReplicas.
+	Health *HealthConfig
+}
+
+// Telemetry is an attached sampling pipeline: a Sampler on the virtual
+// clock scrapes the net-wide snapshot diff, per-connection TCP state, span
+// statistics, redirector table sizes, link queue depths, frame-pool
+// occupancy and the scheduler backlog into a SeriesSet every cadence.
+//
+// Nothing here touches a packet path: when no Telemetry is attached the
+// simulation runs exactly as before (zero cost), and an attached one costs
+// one scheduler event plus one snapshot per interval.
+type Telemetry struct {
+	net     *Net
+	set     *series.Set
+	sampler *series.Sampler
+	scorer  *series.HealthScorer
+	spans   *SpanCollector
+	probe   *FailoverProbe
+
+	maxConns   int
+	prev       Snapshot
+	prevLag    metrics.HistogramSnapshot
+	prevStall  metrics.HistogramSnapshot
+	prevMisses uint64
+
+	hosts   []hostSeries
+	watched []watchedReplica
+	samples []series.ReplicaSample // scratch, reused per tick
+}
+
+// hostSeries caches one host's series so the tick loop does no name
+// formatting for the common counters.
+type hostSeries struct {
+	host *Host
+
+	retransmits, peerRetransmits, rtoEvents *series.Series
+	segsIn, segsOut, deposited              *series.Series
+	framesRx                                *series.Series
+	alive, conns, procBacklog               *series.Series
+}
+
+type watchedReplica struct {
+	host   *Host
+	index  int // into Snapshot.Hosts
+	health *series.Series
+}
+
+// StartSampler attaches a telemetry pipeline and starts it: the first tick
+// fires one cadence from now. Attach after the topology is final (the
+// snapshot walks hosts, links and redirectors) and before the measured
+// traffic, like the capture subsystems.
+//
+// The sampler reschedules itself forever, so Net.Run()-until-idle callers
+// must Stop it; RunFor/RunUntil harnesses need no Stop.
+func (n *Net) StartSampler(cfg SamplerConfig) *Telemetry {
+	t := &Telemetry{
+		net:      n,
+		set:      series.NewSet(cfg.Capacity),
+		sampler:  series.NewSampler(n.sched, cfg.Every),
+		spans:    cfg.Spans,
+		maxConns: cfg.MaxConns,
+	}
+	if t.maxConns == 0 {
+		t.maxConns = 4
+	}
+	if cfg.Health != nil {
+		t.scorer = series.NewHealthScorer(*cfg.Health)
+	}
+	for _, h := range n.hosts {
+		name := h.name
+		t.hosts = append(t.hosts, hostSeries{
+			host:            h,
+			retransmits:     t.set.Counter("host."+name+".retransmits", "segments"),
+			peerRetransmits: t.set.Counter("host."+name+".peer_retransmits", "segments"),
+			rtoEvents:       t.set.Counter("host."+name+".rto_events", "timeouts"),
+			segsIn:          t.set.Counter("host."+name+".segs_in", "segments"),
+			segsOut:         t.set.Counter("host."+name+".segs_out", "segments"),
+			deposited:       t.set.Counter("host."+name+".deposited_bytes", "bytes"),
+			framesRx:        t.set.Counter("host."+name+".frames_rx", "frames"),
+			alive:           t.set.Gauge("host."+name+".alive", ""),
+			conns:           t.set.Gauge("host."+name+".conns", "conns"),
+			procBacklog:     t.set.Gauge("host."+name+".proc_backlog_ms", "ms"),
+		})
+	}
+	t.sampler.OnSample(t.sample)
+	t.sampler.Start()
+	return t
+}
+
+// Set returns the series registry (for ad-hoc series alongside the
+// built-in probes).
+func (t *Telemetry) Set() *SeriesSet { return t.set }
+
+// Sampler returns the underlying sampler.
+func (t *Telemetry) Sampler() *series.Sampler { return t.sampler }
+
+// Scorer returns the health scorer (nil unless SamplerConfig.Health was
+// set).
+func (t *Telemetry) Scorer() *HealthScorer { return t.scorer }
+
+// Stop disarms the sampler; collected series remain readable.
+func (t *Telemetry) Stop() { t.sampler.Stop() }
+
+// AttachFailover records the probe's Table-2 report into the export
+// metadata, aligning series timelines with failover phases.
+func (t *Telemetry) AttachFailover(p *FailoverProbe) { t.probe = p }
+
+// WatchReplicas registers service replicas with the health scorer (no-op
+// without SamplerConfig.Health). Each watched replica gets a
+// health.<host> gauge series: 0 healthy, 1 degraded, 2 dead.
+func (t *Telemetry) WatchReplicas(hosts ...*Host) {
+	if t.scorer == nil {
+		return
+	}
+	for _, h := range hosts {
+		idx := -1
+		for i, nh := range t.net.hosts {
+			if nh == h {
+				idx = i
+			}
+		}
+		if idx < 0 {
+			continue
+		}
+		t.watched = append(t.watched, watchedReplica{
+			host: h, index: idx,
+			health: t.set.Gauge("health."+h.name, "verdict"),
+		})
+	}
+}
+
+// sample is the per-tick probe: snapshot, diff, scrape, score.
+func (t *Telemetry) sample(now time.Duration) {
+	cur := t.net.Snapshot()
+	d := cur.Diff(t.prev)
+
+	// Per-host layer counters (interval deltas) and liveness gauges.
+	// Snapshot.Hosts follows Net host order, so index i matches t.hosts[i].
+	for i := range t.hosts {
+		hs := &t.hosts[i]
+		dh := &d.Hosts[i]
+		hs.retransmits.Observe(now, float64(dh.Conns.Retransmits))
+		hs.peerRetransmits.Observe(now, float64(dh.Conns.PeerRetransmits))
+		hs.rtoEvents.Observe(now, float64(dh.Conns.RTOEvents))
+		hs.segsIn.Observe(now, float64(dh.TCP.SegsIn))
+		hs.segsOut.Observe(now, float64(dh.TCP.SegsOut))
+		hs.deposited.Observe(now, float64(dh.Conns.BytesReceived))
+		hs.framesRx.Observe(now, float64(dh.Frames.Received))
+		alive := 0.0
+		if dh.Alive {
+			alive = 1
+		}
+		hs.alive.Observe(now, alive)
+		hs.conns.Observe(now, float64(dh.TCP.Conns))
+		hs.procBacklog.Observe(now, float64(dh.ProcBacklog)/float64(time.Millisecond))
+
+		// Per-connection TCP telemetry, capped, in the stack's sorted
+		// (deterministic) order.
+		conns := hs.host.tcp.Conns()
+		for j, c := range conns {
+			if j >= t.maxConns {
+				break
+			}
+			prefix := "conn." + hs.host.name + "." + connLabel(c)
+			t.set.Gauge(prefix+".srtt_ms", "ms").Observe(now, float64(c.SRTT())/float64(time.Millisecond))
+			t.set.Gauge(prefix+".rto_ms", "ms").Observe(now, float64(c.RTO())/float64(time.Millisecond))
+			t.set.Gauge(prefix+".cwnd", "bytes").Observe(now, float64(c.CongestionWindow()))
+			t.set.Gauge(prefix+".retransmits_total", "segments").Observe(now, float64(c.Stats().Retransmits))
+		}
+	}
+
+	// Redirectors: table size gauge plus interval multicast counters.
+	for i, r := range t.net.redirectors {
+		name := r.Host.name
+		t.set.Gauge("rd."+name+".services", "entries").Observe(now, float64(r.rd.NumServices()))
+		if i < len(d.Redirectors) {
+			dr := &d.Redirectors[i]
+			t.set.Counter("rd."+name+".multicasts", "packets").Observe(now, float64(dr.Table.Multicast))
+			t.set.Counter("rd."+name+".multicast_copies", "packets").Observe(now, float64(dr.Table.MulticastCopies))
+		}
+	}
+
+	// Link queue depths (instantaneous bytes) and interval queue drops.
+	for i := range t.net.links {
+		li := &t.net.links[i]
+		ab, ba := li.underlying.Backlogs()
+		base := "link." + li.a.name + "-" + li.b.name
+		t.set.Gauge(base+".queue_ab", "bytes").Observe(now, float64(ab))
+		t.set.Gauge(base+".queue_ba", "bytes").Observe(now, float64(ba))
+		if i < len(d.Links) {
+			dl := &d.Links[i]
+			t.set.Counter(base+".queue_drops", "frames").Observe(now,
+				float64(dl.AB.QueueDrop+dl.BA.QueueDrop))
+		}
+	}
+
+	// Frame-pool occupancy and scheduler backlog.
+	t.set.Gauge("pool.outstanding", "frames").Observe(now, float64(t.net.fab.Pool().Outstanding()))
+	_, _, misses := t.net.fab.Pool().Stats()
+	t.set.Counter("pool.misses", "frames").Observe(now, float64(misses-t.prevMisses))
+	t.prevMisses = misses
+	t.set.Gauge("sched.pending", "events").Observe(now, float64(t.net.sched.Pending()))
+
+	// Span statistics: interval ack-chain lag and deposit stall.
+	if t.spans != nil {
+		lag := t.spans.AckChainLag()
+		dl := lag.Diff(t.prevLag)
+		t.prevLag = lag
+		t.set.Counter("spans.ack_chain_lag_samples", "spans").Observe(now, float64(dl.Count))
+		if dl.Count > 0 {
+			t.set.Gauge("spans.ack_chain_lag_ms", "ms").Observe(now, dl.Mean)
+		}
+		stall := t.spans.DepositStall()
+		ds := stall.Diff(t.prevStall)
+		t.prevStall = stall
+		t.set.Counter("spans.deposit_stall_samples", "spans").Observe(now, float64(ds.Count))
+		if ds.Count > 0 {
+			t.set.Gauge("spans.deposit_stall_ms", "ms").Observe(now, ds.Mean)
+		}
+	}
+
+	// Health scoring over watched replicas: feed cumulative counters, the
+	// scorer diffs internally and cross-compares the replica set.
+	if t.scorer != nil && len(t.watched) > 0 {
+		t.samples = t.samples[:0]
+		for _, w := range t.watched {
+			hs := &cur.Hosts[w.index]
+			t.samples = append(t.samples, series.ReplicaSample{
+				Name:            hs.Name,
+				Alive:           hs.Alive,
+				PeerRetransmits: float64(hs.Conns.PeerRetransmits),
+				DepositedBytes:  float64(hs.Conns.BytesReceived),
+				SegsIn:          float64(hs.TCP.SegsIn),
+				ProcBacklog:     hs.ProcBacklog,
+			})
+		}
+		t.scorer.Tick(now, t.samples)
+		for _, w := range t.watched {
+			w.health.Observe(now, float64(t.scorer.Verdict(w.host.name)))
+		}
+	}
+
+	t.prev = cur
+}
+
+// connLabel names a connection by its endpoints, comma-free for CSV.
+func connLabel(c *Conn) string {
+	return c.Local().String() + "-" + c.Remote().String()
+}
+
+// meta builds the export header.
+func (t *Telemetry) meta() series.Meta {
+	m := series.Meta{
+		Every: t.sampler.Every(),
+		Ticks: t.sampler.Ticks(),
+		Seed:  t.net.cfg.Seed,
+	}
+	if t.probe != nil {
+		if r := t.probe.Report(); r.CrashAt > 0 {
+			m.Failover = &r
+		}
+	}
+	return m
+}
+
+// WriteJSONL exports the collected series as JSON lines (canonical
+// format: meta header with the failover timeline, then one object per
+// series).
+func (t *Telemetry) WriteJSONL(w io.Writer) error {
+	return series.WriteJSONL(w, t.meta(), t.set)
+}
+
+// WriteCSV exports the retained windows as long-form CSV.
+func (t *Telemetry) WriteCSV(w io.Writer) error {
+	return series.WriteCSV(w, t.meta(), t.set)
+}
+
+// WriteFile exports to path, choosing CSV for a .csv extension and JSONL
+// otherwise.
+func (t *Telemetry) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if strings.HasSuffix(path, ".csv") {
+		err = t.WriteCSV(f)
+	} else {
+		err = t.WriteJSONL(f)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("hydranet: series export %s: %w", path, err)
+	}
+	return nil
+}
+
+// SetProcessing changes the host's CPU cost model mid-run — gray-failure
+// injection: a large per-frame delay makes the host slow without killing
+// it, the "degraded, not dead" scenario the health scorer exists to catch.
+func (h *Host) SetProcessing(procDelay, procPerByte time.Duration) {
+	h.node.SetProc(procDelay, procPerByte)
+}
