@@ -1,5 +1,6 @@
 // Command hydralint runs the hydranet static-invariant analyzers
-// (framepool, determinism, zeroalloc) over Go packages. It works two ways:
+// (framepool, determinism — including the domain-partition fence —
+// zeroalloc) over Go packages. It works two ways:
 //
 // Standalone, over package patterns:
 //
@@ -39,7 +40,7 @@ import (
 
 // version participates in go vet's content-addressed caching: bump it when
 // analyzer behavior changes so stale cached verdicts are not replayed.
-const version = "hydralint-1"
+const version = "hydralint-2"
 
 var analyzers = []*lint.Analyzer{
 	framepool.Analyzer,

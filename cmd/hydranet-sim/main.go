@@ -73,6 +73,7 @@ func main() {
 	spansPath := flag.String("spans", "", "write the per-connection ft-TCP span timeline as JSON to this file (\"-\" = stdout)")
 	seriesPath := flag.String("series", "", "export sampled time series (with replica health verdicts) to this file (JSONL, or CSV with a .csv extension)")
 	sampleEvery := flag.Duration("sample-every", 0, "telemetry sampling cadence for -series (default 100ms of virtual time)")
+	workers := flag.Int("workers", 1, "worker threads (domain-partitioned parallel run; every output is identical for every count)")
 	flag.Parse()
 
 	if *events == "list" {
@@ -99,6 +100,19 @@ func main() {
 		net.Link(h, rd.Host, link)
 	}
 	net.AutoRoute()
+
+	if *workers > 1 {
+		if *traceSegs > 0 {
+			// The segment tracer prints inline from TCP emit sites, which run
+			// in worker context on their domain's clock — serial only.
+			fmt.Fprintln(os.Stderr, "hydranet-sim: -trace requires -workers 1")
+			os.Exit(1)
+		}
+		if err := net.SetWorkers(*workers); err != nil {
+			fmt.Fprintf(os.Stderr, "hydranet-sim: -workers: %v\n", err)
+			os.Exit(1)
+		}
+	}
 
 	if *traceSegs > 0 {
 		tr := trace.New(os.Stdout, net.Scheduler())
@@ -200,8 +214,12 @@ func main() {
 				break
 			}
 			received += n
-			if bus.Enabled(hydranet.KindClientDeliver) {
-				bus.Publish(hydranet.Event{
+			// Publish on the client host's bus: in a partitioned run this is
+			// the client domain's view (the callback runs in worker context),
+			// merged deterministically at the next barrier; serial runs get
+			// the net bus unchanged.
+			if b := client.Bus(); b.Enabled(hydranet.KindClientDeliver) {
+				b.Publish(hydranet.Event{
 					Kind: hydranet.KindClientDeliver, Node: "client", Size: n,
 				})
 			}
@@ -323,7 +341,7 @@ func main() {
 			os.Exit(1)
 		}
 		logf("time series (%d series, %d ticks) written to %s",
-			tel.Set().Len(), tel.Sampler().Ticks(), *seriesPath)
+			tel.Set().Len(), tel.Ticks(), *seriesPath)
 	}
 
 	snap := net.Snapshot()
@@ -331,7 +349,7 @@ func main() {
 		snap.Failover = &report
 	}
 	if *perf {
-		events := net.Scheduler().Fired()
+		events := net.EventsFired()
 		var frames uint64
 		for _, h := range snap.Hosts {
 			frames += h.Frames.Sent
@@ -342,6 +360,10 @@ func main() {
 			fmt.Printf(" (%.0f events/sec, %.0f frames/sec)", float64(events)/s, float64(frames)/s)
 		}
 		fmt.Println()
+		if domains, w := net.Parallel(); domains > 1 {
+			fmt.Printf("parallel core: %d domains on %d workers, %d cross-domain hand-offs, %d merge ties\n",
+				domains, w, net.Handoffs(), net.MergeTies())
+		}
 	}
 	if *stats {
 		printSnapshot(snap)

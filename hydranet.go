@@ -118,6 +118,10 @@ type Net struct {
 	// single tap slot.
 	frameTaps []netsim.FrameTap
 	encapTaps []redirector.EncapTap
+
+	// par is non-nil once SetWorkers/Partition has split the fabric into
+	// synchronization domains; see parallel.go.
+	par *parallelRT
 }
 
 type linkInfo struct {
@@ -150,23 +154,57 @@ func (n *Net) Bus() *obs.Bus { return n.bus }
 func (n *Net) PoisonFrames(on bool) { n.fab.Pool().SetPoison(on) }
 
 // Now returns the current virtual time.
-func (n *Net) Now() time.Duration { return n.sched.Now() }
+func (n *Net) Now() time.Duration {
+	if n.par != nil {
+		return n.par.now()
+	}
+	return n.sched.Now()
+}
 
 // Run executes events until the network goes idle.
-func (n *Net) Run() { n.sched.Run() }
+func (n *Net) Run() {
+	if n.par != nil {
+		n.par.run()
+		return
+	}
+	n.sched.Run()
+}
 
 // RunFor advances virtual time by d.
-func (n *Net) RunFor(d time.Duration) { n.sched.RunUntil(n.sched.Now() + d) }
+func (n *Net) RunFor(d time.Duration) {
+	if n.par != nil {
+		n.par.runUntil(n.par.group.Now() + d)
+		return
+	}
+	n.sched.RunUntil(n.sched.Now() + d)
+}
 
 // RunUntil advances virtual time to the absolute instant t.
-func (n *Net) RunUntil(t time.Duration) { n.sched.RunUntil(t) }
+func (n *Net) RunUntil(t time.Duration) {
+	if n.par != nil {
+		n.par.runUntil(t)
+		return
+	}
+	n.sched.RunUntil(t)
+}
 
-// Scheduler exposes the event scheduler (for scheduling scripted events
-// such as failure injection).
+// Scheduler exposes the base event scheduler. In a partitioned run this is
+// domain 0's scheduler; scripted cross-host events (failure injection)
+// should use Net.At, and per-host traffic pacing should use
+// Host.Scheduler, both of which stay correct under any worker count.
 func (n *Net) Scheduler() *sim.Scheduler { return n.sched }
 
-// At schedules fn at absolute virtual time t.
-func (n *Net) At(t time.Duration, fn func()) { n.sched.At(t, fn) }
+// At schedules fn at absolute virtual time t. In a partitioned run fn
+// becomes a global event: it runs at a window barrier with all workers
+// parked, positioned in the event order exactly where the serial scheduler
+// would have run it, so it may safely touch any host.
+func (n *Net) At(t time.Duration, fn func()) {
+	if n.par != nil {
+		n.par.at(t, fn)
+		return
+	}
+	n.sched.At(t, fn)
+}
 
 // Host is a simulated machine: IP, UDP and TCP stacks, HydraNet host-server
 // support, the ft-TCP engine, and a management daemon.
@@ -187,6 +225,9 @@ type Host struct {
 
 // AddHost creates a host.
 func (n *Net) AddHost(name string, cfg HostConfig) *Host {
+	if n.par != nil {
+		panic("hydranet: AddHost after SetWorkers — the topology must be final before partitioning")
+	}
 	node := n.fab.AddNode(netsim.NodeConfig{Name: name, ProcDelay: cfg.ProcDelay, ProcPerByte: cfg.ProcPerByte})
 	h := &Host{net: n, name: name, node: node}
 	h.ip = ipv4.NewStack(node, n.sched)
@@ -265,7 +306,7 @@ func (h *Host) FTManager() *core.Manager {
 		if err != nil {
 			panic(fmt.Sprintf("hydranet: %s: %v", h.name, err))
 		}
-		mgr.SetBus(h.net.bus)
+		mgr.SetBus(h.emitBus())
 		h.mgr = mgr
 	}
 	return h.mgr
@@ -330,11 +371,11 @@ func (r *Redirector) Table() *redirector.Redirector { return r.rd }
 // redirector must have an address, i.e. at least one link).
 func (r *Redirector) Daemon() *rmp.RedirectorDaemon {
 	if r.dmn == nil {
-		d, err := rmp.NewRedirectorDaemon(r.Host.udp, r.Host.net.sched, r.rd, r.Host.addr)
+		d, err := rmp.NewRedirectorDaemon(r.Host.udp, r.Host.node.Scheduler(), r.rd, r.Host.addr)
 		if err != nil {
 			panic(fmt.Sprintf("hydranet: %s: %v", r.Host.name, err))
 		}
-		d.SetBus(r.Host.net.bus, r.Host.name)
+		d.SetBus(r.Host.emitBus(), r.Host.name)
 		r.dmn = d
 	}
 	return r.dmn
@@ -368,6 +409,9 @@ func (n *Net) Link(a, b *Host, cfg LinkConfig) *netsim.Link {
 // LinkAddr connects two hosts with explicit addresses. Both must share one
 // /24, distinct from every other link's.
 func (n *Net) LinkAddr(a, b *Host, cfg LinkConfig, aAddr, bAddr Addr) *netsim.Link {
+	if n.par != nil {
+		panic("hydranet: Link after SetWorkers — the topology must be final before partitioning")
+	}
 	l := n.fab.Connect(a.node, b.node, cfg)
 	aIf := a.node.NumInterfaces() - 1
 	bIf := b.node.NumInterfaces() - 1

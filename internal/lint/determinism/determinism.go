@@ -22,6 +22,32 @@
 // The reason is mandatory; an annotation without one, or an unknown
 // directive name anywhere in the repository, is reported by this analyzer
 // so stale or typo'd exemptions cannot accumulate.
+//
+// # Domain-partition fence
+//
+// Inside internal/netsim the analyzer additionally enforces the parallel
+// core's synchronization-domain contract (documented on netsim.domainRT):
+// worker-context code runs concurrently with other domains, and the only
+// sanctioned channel between domains is the locked hand-off inbox.
+// Concretely:
+//
+//   - The Network's shared singletons — its fields sched, pool, and bus —
+//     may be touched only by Network's own methods (the serial path and
+//     coordinator-context orchestration). Everything else must reach the
+//     scheduler, pool, and bus through its domain (nd.dom.sched, ...): a
+//     node event that schedules on the Network's scheduler or allocates
+//     from the shared pool races with other domains' workers.
+//   - An inbox's entries may be read or written only after locking that
+//     inbox's mu earlier in the same function (matched on the receiver
+//     expression, so an alias like `in := &d.inbox; in.mu.Lock()` pairs
+//     with `in.entries`). The check is linear and intraprocedural.
+//
+// A site that is genuinely safe — coordinator-context code running while
+// every worker is quiescent — can be exempted with
+//
+//	//hydralint:domainsafe <reason>
+//
+// and the reason is again mandatory.
 package determinism
 
 import (
@@ -35,7 +61,7 @@ import (
 // Analyzer is the determinism checker.
 var Analyzer = &lint.Analyzer{
 	Name: "determinism",
-	Doc:  "forbid wall clocks, global rand, map ranges, and goroutines in the deterministic simulation core",
+	Doc:  "forbid wall clocks, global rand, map ranges, and goroutines in the deterministic simulation core; fence cross-domain state access in netsim",
 	Run:  run,
 }
 
@@ -81,6 +107,7 @@ func run(pass *lint.Pass) error {
 			break
 		}
 	}
+	fenced := lint.PathHasSuffixSegments(pass.Pkg.Path(), "internal/netsim")
 
 	for _, file := range pass.Files {
 		idx := lint.IndexDirectives(pass.Fset, file)
@@ -88,6 +115,12 @@ func run(pass *lint.Pass) error {
 		// just the deterministic core.
 		for _, d := range idx.Malformed() {
 			pass.Reportf(d.Pos, "%s", d.Malformed)
+		}
+		if fenced {
+			domainSafe := func(pos token.Pos) bool {
+				return idx.Covering(pass.Fset, pos, lint.DirDomainSafe) != nil
+			}
+			checkDomainFence(pass, file, domainSafe)
 		}
 		if !covered {
 			continue
@@ -154,4 +187,156 @@ func checkCall(pass *lint.Pass, call *ast.CallExpr, allowed func(token.Pos) bool
 func identOf(x ast.Expr) *ast.Ident {
 	id, _ := x.(*ast.Ident)
 	return id
+}
+
+// --- domain-partition fence (internal/netsim only) ---
+
+// fencedNetworkFields are Network's shared singletons: worker-context code
+// must use its domain's copies instead.
+var fencedNetworkFields = map[string]bool{
+	"sched": true, "pool": true, "bus": true,
+}
+
+// checkDomainFence enforces the synchronization-domain contract on one
+// file: Network's shared sched/pool/bus stay inside Network methods, and
+// inbox entries are only touched under the inbox mutex.
+func checkDomainFence(pass *lint.Pass, file *ast.File, allowed func(token.Pos) bool) {
+	for _, decl := range file.Decls {
+		fn, ok := decl.(*ast.FuncDecl)
+		if !ok || fn.Body == nil {
+			continue
+		}
+		recvNetwork := false
+		if fn.Recv != nil && len(fn.Recv.List) == 1 {
+			recvNetwork = isNetwork(pass.TypesInfo.TypeOf(fn.Recv.List[0].Type))
+		}
+
+		// First pass: record every `<expr>.mu.Lock()` on an inbox-shaped
+		// receiver, keyed by the receiver's rendered source text so aliases
+		// pair lock and access through the same name.
+		locks := map[string][]token.Pos{}
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "Lock" {
+				return true
+			}
+			mu, ok := ast.Unparen(sel.X).(*ast.SelectorExpr)
+			if !ok || mu.Sel.Name != "mu" || !isInboxShape(pass.TypesInfo.TypeOf(mu.X)) {
+				return true
+			}
+			if s := exprString(mu.X); s != "" {
+				locks[s] = append(locks[s], call.Pos())
+			}
+			return true
+		})
+
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			switch {
+			case fencedNetworkFields[sel.Sel.Name] && isNetwork(pass.TypesInfo.TypeOf(sel.X)):
+				if recvNetwork || allowed(sel.Pos()) {
+					return true
+				}
+				pass.Reportf(sel.Pos(), "access to the Network's shared %s outside a Network method: worker-context code must use its domain's copy (nd.dom.%s), and cross-domain effects must go through the hand-off inbox; annotate //hydralint:domainsafe <reason> if this runs with every worker quiescent", sel.Sel.Name, sel.Sel.Name)
+			case sel.Sel.Name == "entries" && isInboxShape(pass.TypesInfo.TypeOf(sel.X)):
+				if allowed(sel.Pos()) {
+					return true
+				}
+				base := exprString(sel.X)
+				held := false
+				for _, p := range locks[base] {
+					if p < sel.Pos() {
+						held = true
+						break
+					}
+				}
+				if !held {
+					pass.Reportf(sel.Pos(), "inbox entries accessed without %s.mu.Lock earlier in this function: cross-domain hand-offs must use the locked inbox protocol; annotate //hydralint:domainsafe <reason> if the lock is provably unnecessary here", base)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// isNetwork reports whether t is netsim's Network (or a pointer to it) —
+// any package named netsim, so analyzer testdata can supply its own.
+func isNetwork(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Name() == "Network" && obj.Pkg() != nil && obj.Pkg().Name() == "netsim"
+}
+
+// isInboxShape reports whether t is (a pointer to) the inbox's anonymous
+// struct shape: a struct with an `entries` field guarded by a sync.Mutex
+// field named `mu`.
+func isInboxShape(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	var hasMu, hasEntries bool
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		switch f.Name() {
+		case "mu":
+			if n, ok := f.Type().(*types.Named); ok {
+				obj := n.Obj()
+				if obj.Name() == "Mutex" && obj.Pkg() != nil && obj.Pkg().Path() == "sync" {
+					hasMu = true
+				}
+			}
+		case "entries":
+			hasEntries = true
+		}
+	}
+	return hasMu && hasEntries
+}
+
+// exprString renders the simple expression forms a lock receiver can take;
+// anything fancier returns "" and never pairs.
+func exprString(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		if x := exprString(e.X); x != "" {
+			return x + "." + e.Sel.Name
+		}
+	case *ast.StarExpr:
+		if x := exprString(e.X); x != "" {
+			return "*" + x
+		}
+	case *ast.IndexExpr:
+		if x := exprString(e.X); x != "" {
+			if i := exprString(e.Index); i != "" {
+				return x + "[" + i + "]"
+			}
+		}
+	case *ast.BasicLit:
+		return e.Value
+	}
+	return ""
 }

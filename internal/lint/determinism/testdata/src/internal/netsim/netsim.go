@@ -1,0 +1,135 @@
+// Package netsim is domain-fence testdata. Its import path ends in
+// internal/netsim, so the determinism analyzer applies the
+// synchronization-domain fence to it; the seeded violations below must
+// each be caught, and the sanctioned per-domain patterns must stay clean.
+package netsim
+
+import "sync"
+
+type scheduler struct{}
+
+func (s *scheduler) At(t int, fn func()) {}
+
+type pool struct{}
+
+func (p *pool) Get(n int) []byte { return nil }
+
+type bus struct{}
+
+func (b *bus) Publish(v int) {}
+
+// Network mirrors the real fabric's shape: shared singletons plus
+// per-domain runtimes.
+type Network struct {
+	sched *scheduler
+	pool  *pool
+	bus   *bus
+	doms  []*domainRT
+}
+
+type domainRT struct {
+	net   *Network
+	sched *scheduler
+	pool  *pool
+	bus   *bus
+	inbox struct {
+		mu      sync.Mutex
+		entries []int
+	}
+}
+
+// Node belongs to exactly one domain.
+type Node struct {
+	net *Network
+	dom *domainRT
+}
+
+// Scheduler is a Network method: the serial path and coordinator-context
+// orchestration own the shared singletons. Clean.
+func (n *Network) Scheduler() *scheduler { return n.sched }
+
+// Quiesce is a Network method too; touching every domain's inbox under its
+// lock is the sanctioned protocol. Clean.
+func (n *Network) Quiesce() {
+	for _, d := range n.doms {
+		d.inbox.mu.Lock()
+		d.inbox.entries = d.inbox.entries[:0]
+		d.inbox.mu.Unlock()
+	}
+}
+
+// domainLocal is the sanctioned worker-context pattern: everything through
+// the node's own domain. Clean.
+func (nd *Node) domainLocal() {
+	fb := nd.dom.pool.Get(64)
+	_ = fb
+	nd.dom.sched.At(10, func() {})
+	nd.dom.bus.Publish(1)
+}
+
+// sharedSched schedules on the Network's shared scheduler from node
+// context: races with other domains' workers.
+func (nd *Node) sharedSched() {
+	nd.net.sched.At(10, func() {}) // want "access to the Network's shared sched outside a Network method"
+}
+
+// sharedPool allocates from the shared pool in node context.
+func (nd *Node) sharedPool() []byte {
+	return nd.net.pool.Get(64) // want "access to the Network's shared pool outside a Network method"
+}
+
+// sharedBus publishes on the shared bus in node context.
+func (nd *Node) sharedBus() {
+	nd.net.bus.Publish(2) // want "access to the Network's shared bus outside a Network method"
+}
+
+// freeFunc is not a method at all; reaching through a *Network parameter
+// is fenced the same way.
+func freeFunc(n *Network) {
+	n.sched.At(0, func() {}) // want "access to the Network's shared sched outside a Network method"
+}
+
+// annotated carves out a coordinator-context exception with a reason.
+// Clean.
+func annotated(n *Network) {
+	n.sched.At(0, func() {}) //hydralint:domainsafe runs between windows, workers quiescent
+}
+
+// unlockedInbox bypasses the hand-off protocol: a direct append into a
+// foreign domain's inbox without the lock.
+func (nd *Node) unlockedInbox(dst *domainRT, v int) {
+	dst.inbox.entries = append(dst.inbox.entries, v) // want "inbox entries accessed without dst.inbox.mu.Lock" "inbox entries accessed without dst.inbox.mu.Lock"
+}
+
+// lockedInbox is the sanctioned hand-off flush. Clean.
+func (nd *Node) lockedInbox(dst *domainRT, v int) {
+	dst.inbox.mu.Lock()
+	dst.inbox.entries = append(dst.inbox.entries, v)
+	dst.inbox.mu.Unlock()
+}
+
+// aliasedLock pairs the lock and the access through the same alias, like
+// the real StageHandoffs. Clean.
+func (d *domainRT) aliasedLock() int {
+	in := &d.inbox
+	in.mu.Lock()
+	n := len(in.entries)
+	in.mu.Unlock()
+	return n
+}
+
+// mismatchedAlias locks through one name but reads through another: the
+// linear check cannot pair them, so the read is flagged — rewrite to use
+// one name (or annotate).
+func (d *domainRT) mismatchedAlias() int {
+	in := &d.inbox
+	d.inbox.mu.Lock()
+	n := len(in.entries) // want "inbox entries accessed without in.mu.Lock"
+	d.inbox.mu.Unlock()
+	return n
+}
+
+// annotatedInbox documents why the lock is unnecessary. Clean.
+func (d *domainRT) annotatedInbox() int {
+	return len(d.inbox.entries) //hydralint:domainsafe coordinator context, every worker quiescent
+}

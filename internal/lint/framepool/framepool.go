@@ -537,7 +537,7 @@ func poisonIntervals(fn *ast.FuncDecl, call *ast.CallExpr, parents map[ast.Node]
 		if stmts != nil {
 			out = append(out, interval{start, blockEnd})
 			idx := childIndex(stmts, node)
-			if loopBody != nil && !rebindsVar(info, loopBody, v) {
+			if loopBody != nil && !rebindsVar(info, loopBody, v) && !rangeRebinds(parents, loopBody, v, info) {
 				out = append(out, interval{loopBody.Pos(), start})
 				// Straight-line event (its own statement is the bare call,
 				// not guarded by a conditional) with no way out of the loop
@@ -722,6 +722,27 @@ func isLocalRebind(info *types.Info, tracked map[*types.Var]bool, as *ast.Assign
 		}
 	}
 	return true
+}
+
+// rangeRebinds reports whether the loop owning body is a range statement
+// whose key or value binding is v: range variables are freshly bound every
+// iteration, so an ownership event on one never carries into the next
+// iteration.
+func rangeRebinds(parents map[ast.Node]ast.Node, body *ast.BlockStmt, v *types.Var, info *types.Info) bool {
+	rs, ok := parents[body].(*ast.RangeStmt)
+	if !ok {
+		return false
+	}
+	for _, e := range []ast.Expr{rs.Key, rs.Value} {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		if !ok {
+			continue
+		}
+		if info.Defs[id] == v || info.Uses[id] == v {
+			return true
+		}
+	}
+	return false
 }
 
 // rebindsVar reports whether any assignment in the subtree rebinds v.

@@ -165,3 +165,29 @@ func returnHandoff(p *frame.Pool) *frame.Buf {
 	fb := p.Get(64)
 	return fb
 }
+
+// releaseEachRange drains a batch through the range value: a range
+// variable is freshly bound every iteration, so the Release never carries
+// into the next one.
+func releaseEachRange(bufs []*frame.Buf) {
+	for _, fb := range bufs {
+		fb.Release()
+	}
+}
+
+// releaseEachRangeAssign is the assignment form (`fb` declared outside);
+// the range clause still rebinds it per iteration.
+func releaseEachRangeAssign(bufs []*frame.Buf) {
+	var fb *frame.Buf
+	for _, fb = range bufs {
+		fb.Release()
+	}
+}
+
+// rangeCarried ranges over something else entirely while releasing a
+// variable the loop never rebinds: iteration two touches a dead frame.
+func rangeCarried(fb *frame.Buf, xs []int) {
+	for range xs {
+		fb.Release() // want "Release of fb inside a loop that never rebinds it"
+	}
+}

@@ -17,6 +17,7 @@
 //
 //	//hydralint:nondeterministic <reason>
 //	//hydralint:zeroalloc
+//	//hydralint:domainsafe <reason>
 //
 // A directive applies to the statement on the same line, or — when it
 // stands alone on its line — to the line below it. On a function
@@ -115,6 +116,7 @@ const DirectivePrefix = "//hydralint:"
 const (
 	DirNondeterministic = "nondeterministic"
 	DirZeroAlloc        = "zeroalloc"
+	DirDomainSafe       = "domainsafe"
 )
 
 // A Directive is one parsed //hydralint: annotation.
@@ -165,8 +167,12 @@ func Directives(fset *token.FileSet, file *ast.File) []Directive {
 				}
 			case DirZeroAlloc:
 				// Reason optional.
+			case DirDomainSafe:
+				if d.Reason == "" {
+					d.Malformed = "//hydralint:domainsafe requires a reason (//hydralint:domainsafe <why this cross-domain access is safe>)"
+				}
 			default:
-				d.Malformed = fmt.Sprintf("unknown hydralint directive %q (known: nondeterministic, zeroalloc)", name)
+				d.Malformed = fmt.Sprintf("unknown hydralint directive %q (known: nondeterministic, zeroalloc, domainsafe)", name)
 			}
 			out = append(out, d)
 		}

@@ -34,7 +34,9 @@ type FrameHandler interface {
 // the duration of the call, and a tap that retains bytes must copy them.
 type FrameTap func(from, to *Node, data []byte)
 
-// Network is a collection of nodes and links sharing one scheduler.
+// Network is a collection of nodes and links sharing one scheduler, or —
+// after SetDomains — partitioned across several per-domain schedulers that
+// a sim.Group advances in conservative parallel windows.
 type Network struct {
 	sched *sim.Scheduler
 	nodes []*Node
@@ -42,11 +44,16 @@ type Network struct {
 	bus   *obs.Bus
 	pool  *frame.Pool
 	tap   FrameTap
+
+	base *domainRT   // the single domain every node starts in
+	doms []*domainRT // non-nil once SetDomains has partitioned the fabric
 }
 
 // New returns an empty network driven by the given scheduler.
 func New(sched *sim.Scheduler) *Network {
-	return &Network{sched: sched, pool: frame.NewPool()}
+	n := &Network{sched: sched, pool: frame.NewPool()}
+	n.base = &domainRT{net: n, id: 0, sched: sched, pool: n.pool} //hydralint:domainsafe constructor; no domains or workers exist yet
+	return n
 }
 
 // Pool returns the network's frame-buffer pool. Layers above the fabric
@@ -57,7 +64,18 @@ func (n *Network) Pool() *frame.Pool { return n.pool }
 // SetBus attaches an observability event bus; the fabric emits frame-drop
 // and crash/restart events on it. A nil bus (the default) disables all
 // emission.
-func (n *Network) SetBus(b *obs.Bus) { n.bus = b }
+func (n *Network) SetBus(b *obs.Bus) {
+	n.bus = b
+	n.base.bus = b
+	for _, d := range n.doms {
+		d.bus = b
+	}
+}
+
+// SetDomainBus overrides the bus a single domain emits on. In parallel mode
+// the facade installs per-domain bus views here so worker-context emission
+// never touches shared subscriber state directly.
+func (n *Network) SetDomainBus(id int, b *obs.Bus) { n.doms[id].bus = b }
 
 // SetFrameTap installs (or, with nil, removes) the network-wide frame tap.
 // The disabled cost is a single pointer test on the link transmit path.
@@ -103,6 +121,8 @@ type NodeConfig struct {
 func (n *Network) AddNode(cfg NodeConfig) *Node {
 	node := &Node{
 		net:         n,
+		dom:         n.base,
+		index:       len(n.nodes),
 		name:        cfg.Name,
 		procDelay:   cfg.ProcDelay,
 		procPerByte: cfg.ProcPerByte,
@@ -156,9 +176,14 @@ func (n *Network) Connect(a, b *Node, cfg LinkConfig) *Link {
 	return l
 }
 
-// Node is a host or router with a serial CPU and a set of interfaces.
+// Node is a host or router with a serial CPU and a set of interfaces. All
+// of a node's execution happens in its synchronization domain: every field
+// here is read and written only by events on nd.dom.sched (or by
+// coordinator-context code between windows).
 type Node struct {
 	net         *Network
+	dom         *domainRT
+	index       int
 	name        string
 	procDelay   time.Duration
 	procPerByte time.Duration
@@ -179,9 +204,16 @@ type iface struct {
 // Name returns the node's configured name.
 func (nd *Node) Name() string { return nd.name }
 
-// Pool returns the network-wide frame pool, for layers that marshal
-// directly into transmit buffers.
-func (nd *Node) Pool() *frame.Pool { return nd.net.pool }
+// Pool returns the frame pool of the node's synchronization domain, for
+// layers that marshal directly into transmit buffers. Before SetDomains
+// this is the network-wide pool.
+func (nd *Node) Pool() *frame.Pool { return nd.dom.pool }
+
+// Scheduler returns the scheduler of the node's synchronization domain.
+// Layers above the fabric (IP, TCP, daemons) must schedule their events
+// here rather than on Network.Scheduler, so a partitioned run keeps every
+// node's protocol work inside its own domain.
+func (nd *Node) Scheduler() *sim.Scheduler { return nd.dom.sched }
 
 // NumInterfaces returns how many links are attached.
 func (nd *Node) NumInterfaces() int { return len(nd.ifaces) }
@@ -196,7 +228,7 @@ func (nd *Node) Alive() bool { return nd.alive }
 // no further processing, matching the fail-stop model in the paper.
 func (nd *Node) Crash() {
 	nd.alive = false
-	if b := nd.net.bus; b.Enabled(obs.KindNodeCrash) {
+	if b := nd.dom.bus; b.Enabled(obs.KindNodeCrash) {
 		b.Publish(obs.Event{Kind: obs.KindNodeCrash, Node: nd.name})
 	}
 }
@@ -204,7 +236,7 @@ func (nd *Node) Crash() {
 // Restart brings a crashed node back (higher layers must re-register state).
 func (nd *Node) Restart() {
 	nd.alive = true
-	if b := nd.net.bus; b.Enabled(obs.KindNodeRestart) {
+	if b := nd.dom.bus; b.Enabled(obs.KindNodeRestart) {
 		b.Publish(obs.Event{Kind: obs.KindNodeRestart, Node: nd.name})
 	}
 }
@@ -225,7 +257,7 @@ func (nd *Node) SetProc(procDelay, procPerByte time.Duration) {
 // depth a node's own telemetry agent can always export, even when the
 // node looks alive from the network.
 func (nd *Node) ProcBacklog() time.Duration {
-	if b := nd.cpuFree - nd.net.sched.Now(); b > 0 {
+	if b := nd.cpuFree - nd.dom.sched.Now(); b > 0 {
 		return b
 	}
 	return 0
@@ -254,7 +286,7 @@ func (nd *Node) Send(ifindex int, frame []byte) {
 	if !nd.alive {
 		return
 	}
-	fb := nd.net.pool.Get(len(frame))
+	fb := nd.dom.pool.Get(len(frame))
 	copy(fb.Bytes(), frame)
 	nd.SendFrame(ifindex, fb)
 }
@@ -276,7 +308,7 @@ func (nd *Node) SendFrame(ifindex int, fb *frame.Buf) {
 	ifc := nd.ifaces[ifindex]
 	if fb.Len() > ifc.link.cfg.MTU {
 		nd.dropped++
-		if b := nd.net.bus; b.Enabled(obs.KindMTUDrop) {
+		if b := nd.dom.bus; b.Enabled(obs.KindMTUDrop) {
 			b.Publish(obs.Event{
 				Kind: obs.KindMTUDrop, Node: nd.name, Size: fb.Len(),
 				Detail: fmt.Sprintf("mtu %d", ifc.link.cfg.MTU),
@@ -300,7 +332,7 @@ func (nd *Node) SendFrame(ifindex int, fb *frame.Buf) {
 // the meantime: callbacks that carry pooled frames must get the chance to
 // release them, so liveness checks belong inside fn.
 func (nd *Node) cpu(size int, fn func()) {
-	s := nd.net.sched
+	s := nd.dom.sched
 	start := s.Now()
 	if nd.cpuFree > start {
 		start = nd.cpuFree
@@ -378,12 +410,19 @@ func (l *Link) serialization(size int) time.Duration {
 
 // transmit queues a frame for transmission from the given side. It owns fb:
 // drop paths release it, and delivery hands it to the destination node.
+//
+// The whole path runs in the sending node's domain: each direction's
+// transmitter state (txFree, backlog, stats) is touched only by that side's
+// domain, so the two directions of a cross-domain link never race. Delivery
+// to a node in another domain goes through the timestamped hand-off inbox
+// instead of a direct scheduler insertion.
 func (l *Link) transmit(side int, fb *frame.Buf) {
-	s := l.net.sched
+	sd := l.ends[side].node.dom
+	s := sd.sched
 	size := fb.Len()
 	if l.backlog[side]+size > l.cfg.QueueBytes {
 		l.queueDrop[side]++
-		if b := l.net.bus; b.Enabled(obs.KindQueueDrop) {
+		if b := sd.bus; b.Enabled(obs.KindQueueDrop) {
 			b.Publish(obs.Event{
 				Kind: obs.KindQueueDrop, Node: l.ends[side].node.name, Size: size,
 				Detail: "→" + l.ends[1-side].node.name,
@@ -394,7 +433,7 @@ func (l *Link) transmit(side int, fb *frame.Buf) {
 	}
 	if l.cfg.Loss > 0 && s.Rand().Float64() < l.cfg.Loss {
 		l.lost[side]++
-		if b := l.net.bus; b.Enabled(obs.KindPacketLoss) {
+		if b := sd.bus; b.Enabled(obs.KindPacketLoss) {
 			b.Publish(obs.Event{
 				Kind: obs.KindPacketLoss, Node: l.ends[side].node.name, Size: size,
 				Detail: "→" + l.ends[1-side].node.name,
@@ -421,6 +460,10 @@ func (l *Link) transmit(side int, fb *frame.Buf) {
 	arrive := done + l.cfg.Delay
 	if l.cfg.Jitter > 0 {
 		arrive += time.Duration(s.Rand().Int63n(int64(l.cfg.Jitter) + 1))
+	}
+	if dst.node.dom != sd {
+		sd.handoffFrame(arrive, dst, fb)
+		return
 	}
 	s.At(arrive, func() { dst.node.deliver(dst.ifindex, fb) })
 }

@@ -28,6 +28,7 @@ import (
 type eventNode struct {
 	fn        func()
 	at        time.Duration
+	birth     time.Duration // virtual time the event was scheduled at
 	seq       uint64
 	gen       uint64
 	s         *Scheduler
@@ -78,14 +79,16 @@ func (e *Event) Cancelled() bool { return !e.live() }
 
 // Scheduler owns the virtual clock and the pending-event queue.
 type Scheduler struct {
-	now     time.Duration
-	heap    []*eventNode
-	free    []*eventNode
-	dead    int // cancelled nodes still sitting in heap (lazy deletion)
-	nextSeq uint64
-	rng     *rand.Rand
-	fired   uint64
-	running bool
+	now      time.Duration
+	curBirth time.Duration // birth of the event currently executing
+	curSeq   uint64        // sequence of the event currently executing
+	heap     []*eventNode
+	free     []*eventNode
+	dead     int // cancelled nodes still sitting in heap (lazy deletion)
+	nextSeq  uint64
+	rng      *rand.Rand
+	fired    uint64
+	running  bool
 }
 
 // NewScheduler returns a scheduler with its clock at zero and a PRNG seeded
@@ -113,8 +116,23 @@ func (s *Scheduler) Pending() int { return len(s.heap) - s.dead }
 //
 //hydralint:zeroalloc
 func (s *Scheduler) At(t time.Duration, fn func()) Event {
+	return s.AtBirth(t, s.now, fn)
+}
+
+// AtBirth schedules fn at absolute virtual time t with an explicit birth
+// time: the virtual instant the event was (logically) created. At uses the
+// current clock; cross-scheduler merges (see Group and the netsim domain
+// inboxes) pass the birth recorded in the source domain, so an injected
+// event sorts exactly where the serial scheduler would have placed it.
+// birth must not exceed t, and t must not precede the clock.
+//
+//hydralint:zeroalloc
+func (s *Scheduler) AtBirth(t, birth time.Duration, fn func()) Event {
 	if t < s.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, s.now))
+	}
+	if birth > t {
+		panic(fmt.Sprintf("sim: event birth %v after its deadline %v", birth, t))
 	}
 	var n *eventNode
 	if k := len(s.free); k > 0 {
@@ -125,6 +143,7 @@ func (s *Scheduler) At(t time.Duration, fn func()) Event {
 		n = &eventNode{s: s}
 	}
 	n.at = t
+	n.birth = birth
 	n.seq = s.nextSeq
 	n.fn = fn
 	n.cancelled = false
@@ -158,6 +177,8 @@ func (s *Scheduler) Step() bool {
 			continue
 		}
 		s.now = n.at
+		s.curBirth = n.birth
+		s.curSeq = n.seq
 		s.fired++
 		fn := n.fn
 		s.recycle(n)
@@ -194,6 +215,81 @@ func (s *Scheduler) RunUntil(deadline time.Duration) {
 
 // Stop makes a Run or RunUntil in progress return after the current event.
 func (s *Scheduler) Stop() { s.running = false }
+
+// Key is a point in the scheduler's total event order: events execute in
+// ascending (At, Birth) order, with the per-scheduler sequence counter
+// breaking exact ties. A Key with Birth = KeyMax bounds every event at the
+// same timestamp (inclusive bound); Birth = KeyMin bounds none of them
+// (exclusive bound).
+type Key struct {
+	At    time.Duration
+	Birth time.Duration
+}
+
+// Key bounds for inclusive/exclusive window edges.
+const (
+	KeyMin time.Duration = -1 << 62
+	KeyMax time.Duration = 1<<63 - 1
+)
+
+// Less orders keys lexicographically, matching the heap order.
+func (k Key) Less(o Key) bool {
+	if k.At != o.At {
+		return k.At < o.At
+	}
+	return k.Birth < o.Birth
+}
+
+// NextKey returns the ordering key of the earliest pending event, or
+// ok=false when the queue is empty.
+func (s *Scheduler) NextKey() (Key, bool) {
+	n := s.peek()
+	if n == nil {
+		return Key{}, false
+	}
+	return Key{At: n.at, Birth: n.birth}, true
+}
+
+// CurrentKey returns the ordering key and sequence number of the event
+// currently executing (or most recently executed). Outside event execution
+// it reflects the last event that ran; a scheduler that has fired nothing
+// reports the zero key. Deferred-observation spools use it to tag records
+// with the exact point in the event order they were emitted from.
+//
+//hydralint:zeroalloc
+func (s *Scheduler) CurrentKey() (key Key, seq uint64) {
+	return Key{At: s.now, Birth: s.curBirth}, s.curSeq
+}
+
+// RunToKey executes every pending event whose key is strictly below bound,
+// in order, and returns the number executed. The clock is left at the last
+// executed event (it does not advance to the bound; see AdvanceTo). This is
+// the parallel window primitive: a Group runs each domain's scheduler up to
+// the window edge, exchanges cross-domain work at the barrier, and repeats.
+func (s *Scheduler) RunToKey(bound Key) int {
+	ran := 0
+	s.running = true
+	for s.running {
+		n := s.peek()
+		if n == nil || !(Key{At: n.at, Birth: n.birth}).Less(bound) {
+			break
+		}
+		s.Step()
+		ran++
+	}
+	s.running = false
+	return ran
+}
+
+// AdvanceTo moves the clock forward to t without executing anything.
+// Earlier t is a no-op; the clock never moves backwards. Group barriers use
+// it to align every domain's clock with the window edge so that clock reads
+// (backlog gauges, samplers) agree across domains.
+func (s *Scheduler) AdvanceTo(t time.Duration) {
+	if t > s.now {
+		s.now = t
+	}
+}
 
 // peek returns the earliest live node, draining cancelled nodes off the top
 // of the heap along the way.
@@ -249,12 +345,21 @@ func (s *Scheduler) maybeCompact() {
 	}
 }
 
-// less orders the heap by (timestamp, insertion sequence): strict timestamp
-// order with FIFO tie-breaking keeps runs reproducible.
+// less orders the heap by (timestamp, birth, insertion sequence). Within a
+// single scheduler this is exactly the historical (timestamp, sequence)
+// order: the clock never runs backwards, so the sequence counter is
+// monotone in birth time and the birth comparison can never contradict the
+// sequence comparison. The birth term only becomes decisive for events
+// merged in from another scheduler (AtBirth with a foreign birth), where it
+// reconstructs the position a single global scheduler would have given
+// them.
 func (s *Scheduler) less(i, j int) bool {
 	a, b := s.heap[i], s.heap[j]
 	if a.at != b.at {
 		return a.at < b.at
+	}
+	if a.birth != b.birth {
+		return a.birth < b.birth
 	}
 	return a.seq < b.seq
 }

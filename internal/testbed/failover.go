@@ -1,6 +1,7 @@
 package testbed
 
 import (
+	"fmt"
 	"os"
 	"time"
 
@@ -46,6 +47,13 @@ type FailoverConfig struct {
 	// SampleEvery is the telemetry sampling cadence (default 100 ms of
 	// virtual time). Used only with SeriesPath.
 	SampleEvery time.Duration
+	// Workers partitions the network into synchronization domains across
+	// this many worker threads (see hydranet.SetWorkers). 0 or 1 keeps the
+	// serial scheduler. With Loss > 0 the loss pattern is drawn from
+	// per-domain generators, so partitioned runs are deterministic and
+	// worker-count-invariant but sample a different loss sequence than the
+	// serial scheduler.
+	Workers int
 }
 
 // FailoverResult reports what happened.
@@ -98,6 +106,11 @@ func MeasureFailover(cfg FailoverConfig) FailoverResult {
 		}
 	}
 	net.AutoRoute()
+	if cfg.Workers > 1 {
+		if err := net.SetWorkers(cfg.Workers); err != nil {
+			panic(fmt.Sprintf("testbed: failover partition: %v", err))
+		}
+	}
 
 	// Capture subsystems attach after the topology is final, before any
 	// traffic (registration included) hits the wire.
@@ -146,6 +159,11 @@ func MeasureFailover(cfg FailoverConfig) FailoverResult {
 
 	var res FailoverResult
 	var crashTime time.Duration
+	// The reconfiguration callback runs in the redirector domain's worker
+	// context when partitioned, so it must use the redirector's own clock;
+	// the liveness flags it reads only change between runs (CrashPrimary is
+	// coordinator-context), and the fields it writes are not touched by any
+	// other domain's callbacks.
 	rd.Daemon().OnReconfig(func(_ core.ServiceID, failed []hydranet.Addr) {
 		genuine := false
 		for _, f := range failed {
@@ -157,7 +175,7 @@ func MeasureFailover(cfg FailoverConfig) FailoverResult {
 		}
 		if genuine {
 			if res.Detected == 0 && crashTime > 0 {
-				res.Detected = net.Now() - crashTime
+				res.Detected = rd.Host.Scheduler().Now() - crashTime
 			}
 		} else {
 			res.FalseReconfigs++
@@ -178,7 +196,9 @@ func MeasureFailover(cfg FailoverConfig) FailoverResult {
 			}
 			res.Delivered += n
 			if crashTime > 0 && res.Resumed == 0 {
-				res.Resumed = net.Now() - crashTime
+				// Client-domain clock: this callback runs in the client
+				// domain's worker context when partitioned.
+				res.Resumed = client.Scheduler().Now() - crashTime
 			}
 		}
 	})
@@ -285,7 +305,7 @@ func MeasureCongestionEviction(policyStrikes int, seed int64) CongestionResult {
 	}
 	var res CongestionResult
 	done := false
-	ttcp.Transmit(net.Scheduler(), conn, ttcp.Params{BufLen: 1024, TotalBytes: 512 * 1024},
+	ttcp.Transmit(client.Scheduler(), conn, ttcp.Params{BufLen: 1024, TotalBytes: 512 * 1024},
 		func(r ttcp.Result) {
 			res.Completed = r.Err == nil
 			res.Elapsed = r.Elapsed()

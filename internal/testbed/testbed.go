@@ -114,6 +114,11 @@ type Config struct {
 	// SampleEvery is the telemetry sampling cadence (default 100 ms of
 	// virtual time). Used only with SeriesPath.
 	SampleEvery time.Duration
+	// Workers partitions the network into synchronization domains and runs
+	// them across this many worker threads (see hydranet.SetWorkers). 0 or 1
+	// keeps the serial scheduler; any larger count produces identical
+	// results.
+	Workers int
 }
 
 // ServiceAddr is the replicated service's virtual address — a host that
@@ -136,7 +141,7 @@ type RunInfo struct {
 func RunMeasured(cfg Config) (ttcp.Result, RunInfo) {
 	start := time.Now()
 	result, net := run(cfg)
-	info := RunInfo{Wall: time.Since(start), Events: net.Scheduler().Fired()}
+	info := RunInfo{Wall: time.Since(start), Events: net.EventsFired()}
 	for _, h := range net.Snapshot().Hosts {
 		info.Frames += h.Frames.Sent
 	}
@@ -202,7 +207,10 @@ func run(cfg Config) (ttcp.Result, *hydranet.Net) {
 		if err != nil {
 			panic(fmt.Sprintf("testbed: dial: %v", err))
 		}
-		ttcp.Transmit(net.Scheduler(), conn,
+		// Pace the transfer on the client's own scheduler: in a partitioned
+		// run that is the client's domain scheduler, so the send loop stays
+		// inside one synchronization domain.
+		ttcp.Transmit(client.Scheduler(), conn,
 			ttcp.Params{BufLen: cfg.BufLen, TotalBytes: cfg.TotalBytes},
 			func(r ttcp.Result) { result = r; done = true })
 	}
@@ -220,6 +228,13 @@ func run(cfg Config) (ttcp.Result, *hydranet.Net) {
 			}
 		}
 		net.AutoRoute()
+		// The topology is final here, and nothing is deployed or dialed yet —
+		// the one point where partitioning is legal.
+		if cfg.Workers > 1 {
+			if err := net.SetWorkers(cfg.Workers); err != nil {
+				panic(fmt.Sprintf("testbed: partition: %v", err))
+			}
+		}
 	}
 
 	switch cfg.Case {

@@ -16,7 +16,7 @@ func (h *Host) Daemon(rd *Redirector) *rmp.HostDaemon {
 	if h.dmn == nil {
 		// Make sure the redirector side is listening before we register.
 		rd.Daemon()
-		d, err := rmp.NewHostDaemon(h.udp, h.net.sched, h.FTManager(), h.hs, h.tcp,
+		d, err := rmp.NewHostDaemon(h.udp, h.node.Scheduler(), h.FTManager(), h.hs, h.tcp,
 			h.addr, rd.Host.addr)
 		if err != nil {
 			panic(fmt.Sprintf("hydranet: %s: %v", h.name, err))
@@ -173,7 +173,7 @@ func (s *FTService) Recommission(h *Host) error {
 	if s.opts.Heartbeat > 0 {
 		h.Daemon(s.rd).StartHeartbeats(s.svc, s.opts.Heartbeat)
 	}
-	if b := h.net.bus; b.Enabled(obs.KindRecommission) {
+	if b := h.emitBus(); b.Enabled(obs.KindRecommission) {
 		b.Publish(obs.Event{
 			Kind: obs.KindRecommission, Node: h.name, Service: s.svc.String(),
 		})

@@ -57,7 +57,7 @@ func (n *Net) NewFailoverProbe() *FailoverProbe {
 // snapshot per measurement point; Snapshot.Diff turns two into interval
 // rates.
 func (n *Net) Snapshot() Snapshot {
-	snap := Snapshot{Time: n.sched.Now()}
+	snap := Snapshot{Time: n.Now()}
 	// Every node appears under Hosts — redirector nodes too, since their
 	// frame and IP (forwarding) counters live there; the Redirectors section
 	// adds the table and management counters on top.

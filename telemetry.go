@@ -64,6 +64,7 @@ type Telemetry struct {
 	net     *Net
 	set     *series.Set
 	sampler *series.Sampler
+	gtick   *groupTicker // drives ticks at barriers in partitioned runs
 	scorer  *series.HealthScorer
 	spans   *SpanCollector
 	probe   *FailoverProbe
@@ -134,7 +135,19 @@ func (n *Net) StartSampler(cfg SamplerConfig) *Telemetry {
 		})
 	}
 	t.sampler.OnSample(t.sample)
-	t.sampler.Start()
+	if n.par != nil {
+		// Partitioned: the sampler reads state spanning every domain, so
+		// its tick must run at a window barrier with all workers parked. A
+		// group ticker fires with the same (time, birth) key sequence the
+		// serial timer would use, keeping sampled series byte-identical.
+		every := cfg.Every
+		if every <= 0 {
+			every = series.DefaultCadence
+		}
+		t.gtick = n.par.startTicker(every, t.sample)
+	} else {
+		t.sampler.Start()
+	}
 	return t
 }
 
@@ -142,15 +155,39 @@ func (n *Net) StartSampler(cfg SamplerConfig) *Telemetry {
 // built-in probes).
 func (t *Telemetry) Set() *SeriesSet { return t.set }
 
-// Sampler returns the underlying sampler.
+// Sampler returns the underlying sampler. In a partitioned run the ticks
+// are driven at window barriers instead; use Ticks/Every, which work in
+// both modes.
 func (t *Telemetry) Sampler() *series.Sampler { return t.sampler }
+
+// Ticks returns how many times the pipeline has sampled.
+func (t *Telemetry) Ticks() uint64 {
+	if t.gtick != nil {
+		return t.gtick.ticks
+	}
+	return t.sampler.Ticks()
+}
+
+// Every returns the sampling cadence.
+func (t *Telemetry) Every() time.Duration {
+	if t.gtick != nil {
+		return t.gtick.every
+	}
+	return t.sampler.Every()
+}
 
 // Scorer returns the health scorer (nil unless SamplerConfig.Health was
 // set).
 func (t *Telemetry) Scorer() *HealthScorer { return t.scorer }
 
 // Stop disarms the sampler; collected series remain readable.
-func (t *Telemetry) Stop() { t.sampler.Stop() }
+func (t *Telemetry) Stop() {
+	if t.gtick != nil {
+		t.gtick.Stop()
+		return
+	}
+	t.sampler.Stop()
+}
 
 // AttachFailover records the probe's Table-2 report into the export
 // metadata, aligning series timelines with failover phases.
@@ -245,12 +282,16 @@ func (t *Telemetry) sample(now time.Duration) {
 		}
 	}
 
-	// Frame-pool occupancy and scheduler backlog.
-	t.set.Gauge("pool.outstanding", "frames").Observe(now, float64(t.net.fab.Pool().Outstanding()))
-	_, _, misses := t.net.fab.Pool().Stats()
+	// Frame-pool occupancy and scheduler backlog. PoolOutstanding counts
+	// each logical in-flight frame once in any partition (cross-domain
+	// hand-off copies are deduplicated), so the gauge is partition-
+	// invariant; PoolMisses is allocator telemetry and partition-scoped
+	// (see DESIGN.md §10).
+	t.set.Gauge("pool.outstanding", "frames").Observe(now, float64(t.net.fab.PoolOutstanding()))
+	misses := t.net.fab.PoolMisses()
 	t.set.Counter("pool.misses", "frames").Observe(now, float64(misses-t.prevMisses))
 	t.prevMisses = misses
-	t.set.Gauge("sched.pending", "events").Observe(now, float64(t.net.sched.Pending()))
+	t.set.Gauge("sched.pending", "events").Observe(now, float64(t.net.eventsPending()))
 
 	// Span statistics: interval ack-chain lag and deposit stall.
 	if t.spans != nil {
@@ -302,8 +343,8 @@ func connLabel(c *Conn) string {
 // meta builds the export header.
 func (t *Telemetry) meta() series.Meta {
 	m := series.Meta{
-		Every: t.sampler.Every(),
-		Ticks: t.sampler.Ticks(),
+		Every: t.Every(),
+		Ticks: t.Ticks(),
 		Seed:  t.net.cfg.Seed,
 	}
 	if t.probe != nil {
