@@ -15,6 +15,7 @@ import (
 	"text/tabwriter"
 	"time"
 
+	"hydranet/internal/prof"
 	"hydranet/internal/sweep"
 	"hydranet/internal/testbed"
 )
@@ -41,7 +42,16 @@ func main() {
 	spansPrefix := flag.String("spans", "", "write each run's ft-TCP span timeline to PREFIX-t<threshold>.json")
 	seriesPrefix := flag.String("series", "", "export each run's time series (with health verdicts) to PREFIX-t<threshold>.jsonl")
 	sampleEvery := flag.Duration("sample-every", 0, "telemetry sampling cadence for -series (default 100ms of virtual time)")
+	profPrefix := flag.String("prof", "", "write each run's hydraprof profile to PREFIX-t<threshold>.prof.json; render with hydrascope profile")
+	cpuProfile := flag.String("cpuprofile", "", "write a Go runtime CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a Go runtime heap profile to this file at exit")
 	flag.Parse()
+
+	stopPprof, err := prof.StartPprof(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "failover: pprof: %v\n", err)
+		os.Exit(1)
+	}
 
 	// In-simulation workers multiply the sweep's fan-out; keep the product
 	// within the machine so neither layer's parallelism starves the other.
@@ -71,6 +81,9 @@ func main() {
 			cfg.SeriesPath = fmt.Sprintf("%s-t%d.jsonl", *seriesPrefix, thresholds[i])
 			cfg.SampleEvery = *sampleEvery
 		}
+		if *profPrefix != "" {
+			cfg.ProfilePath = fmt.Sprintf("%s-t%d.prof.json", *profPrefix, thresholds[i])
+		}
 		res := testbed.MeasureFailover(cfg)
 		r := row{
 			Threshold:      thresholds[i],
@@ -85,6 +98,12 @@ func main() {
 		return r
 	})
 
+	finishPprof := func() {
+		if err := stopPprof(); err != nil {
+			fmt.Fprintf(os.Stderr, "failover: pprof: %v\n", err)
+			os.Exit(1)
+		}
+	}
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
@@ -94,6 +113,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "failover: %v\n", err)
 			os.Exit(1)
 		}
+		finishPprof()
 		return
 	}
 
@@ -113,6 +133,7 @@ func main() {
 	}
 	w.Flush()
 	fmt.Println("\ndetect: crash → redirector reconfiguration; resume: crash → first new byte at the client")
+	finishPprof()
 }
 
 func ms(d time.Duration) string {

@@ -12,6 +12,11 @@
 //	                 reconfig, suspicion, promotion, crash/restart)
 //	-stats           print a net-wide counter summary at the end
 //	-stats-json F    write the full snapshot (with failover timeline) to F
+//	-prof F          write a hydraprof profile (per-domain utilization,
+//	                 causal critical path) to F; render with
+//	                 `hydrascope profile F`
+//	-cpuprofile F    write a Go runtime CPU profile of the simulator to F
+//	-memprofile F    write a Go runtime heap profile at exit to F
 package main
 
 import (
@@ -25,6 +30,7 @@ import (
 	"hydranet"
 	"hydranet/internal/app"
 	"hydranet/internal/obs"
+	"hydranet/internal/prof"
 	"hydranet/internal/trace"
 )
 
@@ -74,7 +80,16 @@ func main() {
 	seriesPath := flag.String("series", "", "export sampled time series (with replica health verdicts) to this file (JSONL, or CSV with a .csv extension)")
 	sampleEvery := flag.Duration("sample-every", 0, "telemetry sampling cadence for -series (default 100ms of virtual time)")
 	workers := flag.Int("workers", 1, "worker threads (domain-partitioned parallel run; every output is identical for every count)")
+	profPath := flag.String("prof", "", "write a hydraprof profile (per-domain utilization, causal critical path) to this file; render with hydrascope profile")
+	cpuProfile := flag.String("cpuprofile", "", "write a Go runtime CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a Go runtime heap profile to this file at exit")
 	flag.Parse()
+
+	stopPprof, err := prof.StartPprof(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hydranet-sim: pprof: %v\n", err)
+		os.Exit(1)
+	}
 
 	if *events == "list" {
 		for _, k := range obs.Kinds() {
@@ -112,6 +127,16 @@ func main() {
 			fmt.Fprintf(os.Stderr, "hydranet-sim: -workers: %v\n", err)
 			os.Exit(1)
 		}
+	}
+
+	// Attach after the partition (profiling wraps the per-domain schedulers)
+	// and before any traffic, so the profile covers the whole scripted run.
+	var profiler *hydranet.Profiler
+	if *profPath != "" {
+		profiler = net.StartProfile(hydranet.ProfileConfig{
+			Scenario: fmt.Sprintf("hydranet-sim replicas=%d bytes=%d crash=%s workers=%d",
+				*replicas, *bytes, *crashWho, *workers),
+		})
 	}
 
 	if *traceSegs > 0 {
@@ -405,8 +430,19 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if profiler != nil {
+		if err := profiler.WriteFile(*profPath); err != nil {
+			fmt.Fprintf(os.Stderr, "hydranet-sim: -prof: %v\n", err)
+			os.Exit(1)
+		}
+		logf("hydraprof profile written to %s (render with: hydrascope profile %s)", *profPath, *profPath)
+	}
 	if *verbose {
 		fmt.Printf("\nvirtual time elapsed: %v\n", net.Now())
+	}
+	if err := stopPprof(); err != nil {
+		fmt.Fprintf(os.Stderr, "hydranet-sim: pprof: %v\n", err)
+		os.Exit(1)
 	}
 	if received < *bytes {
 		os.Exit(1)

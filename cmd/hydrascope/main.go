@@ -1,23 +1,35 @@
 // Command hydrascope analyzes exported HydraNet-FT telemetry: it renders a
-// failover timeline report from a series export, and diffs two runs —
-// series exports or ttcpbench results — within a tolerance, exiting
-// non-zero on regression so CI can gate on it.
+// failover timeline report from a series export, renders a hydraprof
+// parallel-core profile, and diffs two runs — series exports, ttcpbench
+// results or hydraprof profiles — within a tolerance, exiting non-zero on
+// regression so CI can gate on it.
 //
 // Usage:
 //
 //	hydrascope report RUN [-spans FILE]
-//	hydrascope diff A B [-tol 0.02]
+//	hydrascope profile PROF [-trace OUT.json]
+//	hydrascope diff A B [-tol 0.02] [-stall-tol 0]
 //
 // report loads a -series export (JSONL or CSV, sniffed from content) and
 // prints the run summary: the Table-2 failover phase timeline with
 // per-phase retransmission/RTO/deposit activity, replica health verdicts,
 // and a sorted per-series table. -spans adds the ft-TCP span summary.
 //
+// profile loads a hydraprof JSON profile (written by the -prof flag on
+// hydranet-sim, ttcpbench and failover) and prints per-domain utilization,
+// barrier-stall attribution, the causal critical path with its
+// ideal-speedup bound, and a recommended -workers count. -trace also
+// writes a Chrome trace-event (Perfetto) JSON rendering of the retained
+// windows; open it at https://ui.perfetto.dev.
+//
 // diff compares two runs. Two series exports compare per-series run
 // aggregates (counter totals, gauge mean/max) plus the failover phase
 // durations; two ttcpbench JSON files compare the deterministic fields
 // (throughput, events, frames) only — wall-clock fields are machine facts
-// and never gated. Any difference beyond -tol is a regression: exit 1.
+// and never gated; two hydraprof profiles compare the deterministic fields
+// (events, critical-path depth, hand-offs, window counts) at -tol and the
+// wall-derived utilization/stall fractions at -stall-tol (0, the default,
+// skips them). Any difference beyond tolerance is a regression: exit 1.
 // Identical-seed runs diff clean and exit 0.
 package main
 
@@ -26,13 +38,15 @@ import (
 	"fmt"
 	"os"
 
+	"hydranet/internal/prof"
 	"hydranet/internal/scope"
 )
 
 func usage() {
 	fmt.Fprintf(os.Stderr, `usage:
-  hydrascope report RUN [-spans FILE]   render a run report
-  hydrascope diff A B [-tol 0.02]      diff two runs; exit 1 on regression
+  hydrascope report RUN [-spans FILE]          render a run report
+  hydrascope profile PROF [-trace OUT.json]    render a hydraprof profile
+  hydrascope diff A B [-tol 0.02] [-stall-tol 0]  diff two runs; exit 1 on regression
 `)
 	os.Exit(2)
 }
@@ -44,6 +58,8 @@ func main() {
 	switch os.Args[1] {
 	case "report":
 		report(os.Args[2:])
+	case "profile":
+		profile(os.Args[2:])
 	case "diff":
 		diff(os.Args[2:])
 	default:
@@ -82,9 +98,48 @@ func report(args []string) {
 	}
 }
 
+func profile(args []string) {
+	fs := flag.NewFlagSet("profile", flag.ExitOnError)
+	tracePath := fs.String("trace", "", "also write a Chrome trace-event (Perfetto) JSON file")
+	// As in diff: re-parse past the positional so trailing flags work.
+	fs.Parse(args)
+	rest := fs.Args()
+	if len(rest) > 1 {
+		fs.Parse(rest[1:])
+		if fs.NArg() != 0 {
+			usage()
+		}
+	}
+	if len(rest) < 1 {
+		usage()
+	}
+	p, err := scope.LoadProfFile(rest[0])
+	if err != nil {
+		fatal(err)
+	}
+	if err := prof.Report(os.Stdout, p); err != nil {
+		fatal(err)
+	}
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fatal(err)
+		}
+		err = prof.WriteTrace(f, p)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote trace %s (load at https://ui.perfetto.dev)\n", *tracePath)
+	}
+}
+
 func diff(args []string) {
 	fs := flag.NewFlagSet("diff", flag.ExitOnError)
 	tol := fs.Float64("tol", 0.02, "relative tolerance before a difference is a regression")
+	stallTol := fs.Float64("stall-tol", 0, "absolute tolerance for wall-derived profile util/stall fractions (0 skips them)")
 	// Accept flags on either side of the two positionals: stdlib flag stops
 	// at the first non-flag argument, so "diff A B -tol 0.05" needs the
 	// tail re-parsed.
@@ -103,7 +158,18 @@ func diff(args []string) {
 
 	var findings []scope.Finding
 	var what string
-	if scope.IsBenchFile(pathA) || scope.IsBenchFile(pathB) {
+	if scope.IsProfFile(pathA) || scope.IsProfFile(pathB) {
+		what = "profile"
+		a, err := scope.LoadProfFile(pathA)
+		if err != nil {
+			fatal(err)
+		}
+		b, err := scope.LoadProfFile(pathB)
+		if err != nil {
+			fatal(err)
+		}
+		findings = scope.DiffProf(a, b, *tol, *stallTol)
+	} else if scope.IsBenchFile(pathA) || scope.IsBenchFile(pathB) {
 		what = "bench"
 		a, err := scope.LoadBenchFile(pathA)
 		if err != nil {

@@ -1,0 +1,155 @@
+// Command profcheck validates Chrome trace-event (Perfetto) JSON files
+// exported by `hydrascope profile -trace` — the golden check CI runs on
+// traces emitted from -prof runs, so the export stays loadable by
+// https://ui.perfetto.dev without external tooling in the loop. For each
+// file it verifies the container shape, walks every event, checks that
+// slices carry timestamps and durations on known tracks, that every used
+// track has thread metadata, that flow arrows pair start/finish 1:1 by id,
+// and that per-track slice timestamps are nondecreasing; it prints a
+// one-line summary of what was in the trace.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+// event mirrors the fields profcheck validates; unknown fields are ignored
+// so the exporter can grow args freely.
+type event struct {
+	Name string   `json:"name"`
+	Cat  string   `json:"cat"`
+	Ph   string   `json:"ph"`
+	TS   *float64 `json:"ts"`
+	Dur  *float64 `json:"dur"`
+	Pid  *int     `json:"pid"`
+	Tid  *int     `json:"tid"`
+	S    string   `json:"s"`
+	ID   *int     `json:"id"`
+}
+
+type trace struct {
+	TraceEvents []event `json:"traceEvents"`
+}
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: profcheck FILE...\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	failed := false
+	for _, path := range flag.Args() {
+		if err := check(path); err != nil {
+			fmt.Fprintf(os.Stderr, "profcheck: %s: %v\n", path, err)
+			failed = true
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+func check(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var tr trace
+	if err := json.Unmarshal(data, &tr); err != nil {
+		return fmt.Errorf("parse: %w", err)
+	}
+	if len(tr.TraceEvents) == 0 {
+		return fmt.Errorf("no traceEvents")
+	}
+
+	named := map[int]bool{} // tids with thread_name metadata
+	lastTS := map[int]float64{}
+	flowStart := map[int]int{}  // flow id -> "s" count
+	flowFinish := map[int]int{} // flow id -> "f" count
+	var slices, instants, flows int
+
+	for i, e := range tr.TraceEvents {
+		if e.Ph == "" {
+			return fmt.Errorf("event %d: missing ph", i)
+		}
+		if e.Pid == nil {
+			return fmt.Errorf("event %d (%s %q): missing pid", i, e.Ph, e.Name)
+		}
+		if e.Tid == nil {
+			return fmt.Errorf("event %d (%s %q): missing tid", i, e.Ph, e.Name)
+		}
+		switch e.Ph {
+		case "M":
+			if e.Name == "thread_name" {
+				named[*e.Tid] = true
+			}
+		case "X":
+			slices++
+			if e.TS == nil || e.Dur == nil {
+				return fmt.Errorf("event %d: X slice %q missing ts or dur", i, e.Name)
+			}
+			if *e.Dur < 0 {
+				return fmt.Errorf("event %d: X slice %q with negative dur %v", i, e.Name, *e.Dur)
+			}
+			if last, ok := lastTS[*e.Tid]; ok && *e.TS < last {
+				return fmt.Errorf("event %d: tid %d slice ts %v before predecessor %v",
+					i, *e.Tid, *e.TS, last)
+			}
+			lastTS[*e.Tid] = *e.TS
+		case "i":
+			instants++
+			if e.TS == nil {
+				return fmt.Errorf("event %d: instant %q missing ts", i, e.Name)
+			}
+			if e.S == "" {
+				return fmt.Errorf("event %d: instant %q missing scope", i, e.Name)
+			}
+		case "s", "f":
+			flows++
+			if e.TS == nil {
+				return fmt.Errorf("event %d: flow %s missing ts", i, e.Ph)
+			}
+			if e.ID == nil {
+				return fmt.Errorf("event %d: flow %s missing id", i, e.Ph)
+			}
+			if e.Ph == "s" {
+				flowStart[*e.ID]++
+			} else {
+				flowFinish[*e.ID]++
+			}
+		default:
+			return fmt.Errorf("event %d: unknown phase %q", i, e.Ph)
+		}
+	}
+
+	// Every track that carries events must be named, or the viewer shows
+	// anonymous threads.
+	for tid := range lastTS {
+		if !named[tid] {
+			return fmt.Errorf("tid %d has slices but no thread_name metadata", tid)
+		}
+	}
+	// Flow arrows must pair exactly: a dangling start or finish renders as
+	// an arrow into nowhere.
+	for id, n := range flowStart {
+		if flowFinish[id] != n {
+			return fmt.Errorf("flow id %d: %d starts but %d finishes", id, n, flowFinish[id])
+		}
+	}
+	for id, n := range flowFinish {
+		if flowStart[id] != n {
+			return fmt.Errorf("flow id %d: %d finishes but %d starts", id, n, flowStart[id])
+		}
+	}
+
+	fmt.Printf("%s: %d events ok — %d slices on %d tracks, %d barrier instants, %d flow endpoints (%d arrows)\n",
+		path, len(tr.TraceEvents), slices, len(lastTS), instants, flows, len(flowStart))
+	return nil
+}

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"hydranet/internal/metrics"
+	"hydranet/internal/prof"
 	"hydranet/internal/scope"
 	"hydranet/internal/sweep"
 	"hydranet/internal/testbed"
@@ -53,10 +54,26 @@ func main() {
 	pcapPath := flag.String("pcap", "", "additionally capture one primary-and-backup run (1024-byte writes) to this pcap file")
 	seriesPath := flag.String("series", "", "additionally export time series of one primary-and-backup run (1024-byte writes) to this file (JSONL, or CSV with a .csv extension)")
 	sampleEvery := flag.Duration("sample-every", 0, "telemetry sampling cadence for -series (default 100ms of virtual time)")
+	profPath := flag.String("prof", "", "write hydraprof profiles: with -scale, PREFIX-w<N>.prof.json per worker count; otherwise profile one dedicated primary-and-backup run (1024-byte writes) to this file")
+	cpuProfile := flag.String("cpuprofile", "", "write a Go runtime CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a Go runtime heap profile to this file at exit")
 	flag.Parse()
 
+	stopPprof, err := prof.StartPprof(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ttcpbench: pprof:", err)
+		os.Exit(1)
+	}
+	finishPprof := func() {
+		if err := stopPprof(); err != nil {
+			fmt.Fprintln(os.Stderr, "ttcpbench: pprof:", err)
+			os.Exit(1)
+		}
+	}
+
 	if *scalePath != "" {
-		runScaleBench(*scalePath, *scalePods, *total, *seed)
+		runScaleBench(*scalePath, *scalePods, *total, *seed, *profPath)
+		finishPprof()
 		return
 	}
 
@@ -188,6 +205,22 @@ func main() {
 		fmt.Printf("exported primary-and-backup series (1024-byte writes) to %s\n", *seriesPath)
 	}
 
+	if *profPath != "" {
+		// Same dedicated-run pattern again: profiling inside the sweep would
+		// attach collectors to every measurement point.
+		res := testbed.Run(testbed.Config{
+			Case: testbed.CasePrimaryBackup, BufLen: 1024, TotalBytes: *total,
+			Seed: *seed, Backups: *backups,
+			Workers: *workers, ProfilePath: *profPath,
+		})
+		if res.Err != nil {
+			fmt.Fprintln(os.Stderr, "ttcpbench: profile run:", res.Err)
+			os.Exit(1)
+		}
+		fmt.Printf("profiled primary-and-backup run (1024-byte writes) to %s (render with: hydrascope profile %s)\n",
+			*profPath, *profPath)
+	}
+
 	if *jsonPath != "" {
 		bf := scope.BenchFile{
 			Description: "HydraNet-FT simulator core performance per Figure-4 case",
@@ -210,6 +243,7 @@ func main() {
 		}
 		fmt.Printf("wrote %s\n", *jsonPath)
 	}
+	finishPprof()
 }
 
 // scaleWorkerCounts are the -scale sweep's x-axis.
@@ -219,7 +253,9 @@ var scaleWorkerCounts = []int{1, 2, 4, 8}
 // 1, 2, 4 and 8 in-simulation worker threads. Throughput, events and frames
 // are simulation observables and must be identical across the rows — the
 // wall-clock column is the one the partitioned scheduler exists to shrink.
-func runScaleBench(path string, pods, total int, seed int64) {
+// profPrefix, when set, writes a hydraprof profile per worker count to
+// PREFIX-w<N>.prof.json alongside the JSON record.
+func runScaleBench(path string, pods, total int, seed int64, profPrefix string) {
 	fmt.Printf("parallel-core scaling: %d pods (one synchronization domain each), %d bytes per pod, seed %d\n\n",
 		pods, total, seed)
 
@@ -228,9 +264,13 @@ func runScaleBench(path string, pods, total int, seed int64) {
 	var baseline time.Duration
 	start := time.Now()
 	for _, w := range scaleWorkerCounts {
-		r := testbed.RunScale(testbed.ScaleConfig{
+		cfg := testbed.ScaleConfig{
 			Pods: pods, Workers: w, TotalBytes: total, Seed: seed,
-		})
+		}
+		if profPrefix != "" {
+			cfg.ProfilePath = fmt.Sprintf("%s-w%d.prof.json", profPrefix, w)
+		}
+		r := testbed.RunScale(cfg)
 		if w == 1 {
 			baseline = r.Wall
 		}
@@ -254,12 +294,23 @@ func runScaleBench(path string, pods, total int, seed int64) {
 			Events:         r.Events,
 			Frames:         r.Frames,
 			WallMS:         float64(r.Wall.Microseconds()) / 1000,
+			// Informational scaling facts: wall-derived, never gated by
+			// hydrascope diff.
+			Workers: w,
+		}
+		if w > 1 && r.Wall > 0 && baseline > 0 {
+			e.Speedup = float64(baseline) / float64(r.Wall)
+		} else if w == 1 {
+			e.Speedup = 1
 		}
 		if s := r.Wall.Seconds(); s > 0 {
 			e.EventsPerSec = float64(r.Events) / s
 			e.FramesPerSec = float64(r.Frames) / s
 		}
 		entries = append(entries, e)
+		if cfg.ProfilePath != "" {
+			fmt.Printf("profiled workers=%d to %s\n", w, cfg.ProfilePath)
+		}
 	}
 	wall := time.Since(start)
 	fmt.Print(table)

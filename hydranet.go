@@ -122,6 +122,10 @@ type Net struct {
 	// par is non-nil once SetWorkers/Partition has split the fabric into
 	// synchronization domains; see parallel.go.
 	par *parallelRT
+
+	// profiler is non-nil while a hydraprof session is attached; see
+	// profile.go.
+	profiler *Profiler
 }
 
 type linkInfo struct {

@@ -1,0 +1,95 @@
+// Package profpath is zeroalloc-analyzer testdata shaped like the
+// hydraprof collectors' hot path: a scheduling-edge sampler that strides
+// over edges and records every Nth into a pre-allocated ring, and a window
+// accountant that folds per-domain timings into fixed slots. Both run
+// inside the scheduler and barrier hot loops while a profiler is attached,
+// so their promise matches the sampler's: free beyond the ring writes.
+// Each function below seeds one way that promise quietly breaks.
+package profpath
+
+import "fmt"
+
+type edge struct {
+	parentAt, childAt int64
+	depth             uint64
+}
+
+type edgeRing struct {
+	edges []edge
+	head  int
+	seen  uint64
+}
+
+type windowSlot struct {
+	execNs, stallNs int64
+	events          uint64
+}
+
+type collector struct {
+	ring  edgeRing
+	slots []windowSlot
+	every uint64
+}
+
+var sink any
+
+// noteEdge is the canonical collector write: stride check plus index
+// arithmetic into storage allocated at attach time. Must stay clean.
+//
+//hydralint:zeroalloc
+func (c *collector) noteEdge(parentAt, childAt int64, depth uint64) {
+	c.ring.seen++
+	if c.every > 1 && c.ring.seen%c.every != 0 {
+		return
+	}
+	if len(c.ring.edges) == 0 {
+		return
+	}
+	c.ring.edges[c.ring.head] = edge{parentAt: parentAt, childAt: childAt, depth: depth}
+	c.ring.head = (c.ring.head + 1) % len(c.ring.edges)
+}
+
+// windowEnd is the root the barrier calls once per domain per window: it
+// folds timings through a same-package helper, which therefore inherits
+// the constraint.
+//
+//hydralint:zeroalloc
+func (c *collector) windowEnd(domain int, execNs, stallNs int64) {
+	fold(&c.slots[domain], execNs, stallNs)
+}
+
+// fold is NOT annotated, but windowEnd reaches it, so its debug print is
+// on the zeroalloc path.
+func fold(s *windowSlot, execNs, stallNs int64) {
+	s.execNs += execNs
+	s.stallNs += stallNs
+	s.events++
+	fmt.Printf("window folded %d events\n", s.events) // want "fmt.Printf allocates in zeroalloc function fold \(on the zeroalloc path of windowEnd\)"
+}
+
+// noteEdgeTraced boxes the stride counter into an any-typed trace hook on
+// every sampled edge. (Passing the *collector itself would be clean —
+// pointers fit the iface word — which is exactly why the scalar is the
+// tempting mistake.)
+//
+//hydralint:zeroalloc
+func (c *collector) noteEdgeTraced(parentAt, childAt int64, depth uint64) {
+	trace(c.ring.seen) // want "argument boxes uint64 into any in zeroalloc function noteEdgeTraced"
+	c.noteEdge(parentAt, childAt, depth)
+}
+
+// windowEndDeferred builds a capturing closure per window — the classic
+// "flush later" allocation the real collector avoids by snapshotting at
+// the barrier, in coordinator context.
+//
+//hydralint:zeroalloc
+func (c *collector) windowEndDeferred(domain int, execNs, stallNs int64) {
+	defer func() { c.windowEnd(domain, execNs, stallNs) }() // want "closure captures .* and forces a heap allocation in zeroalloc function windowEndDeferred"
+}
+
+// report runs offline, after detach: unannotated, may allocate.
+func (c *collector) report() string {
+	return fmt.Sprintf("%d edges seen", c.ring.seen)
+}
+
+func trace(v any) { sink = v }

@@ -15,3 +15,7 @@ func TestHotPath(t *testing.T) {
 func TestSamplerPath(t *testing.T) {
 	linttest.Run(t, zeroalloc.Analyzer, filepath.Join(linttest.TestData(t), "src", "sampler"))
 }
+
+func TestProfPath(t *testing.T) {
+	linttest.Run(t, zeroalloc.Analyzer, filepath.Join(linttest.TestData(t), "src", "profpath"))
+}

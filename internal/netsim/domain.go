@@ -54,8 +54,9 @@ type domainRT struct {
 	sentMid []*frame.Buf // sent last window; destination has copied them
 	arrFree []*pendingArrival
 
-	handoffs uint64 // frames handed across domains
-	ties     uint64 // ambiguous cross-domain merge ties (see MergeTies)
+	handoffs  uint64   // frames handed across domains
+	handoffTo []uint64 // frames handed to each destination domain
+	ties      uint64   // ambiguous cross-domain merge ties (see MergeTies)
 }
 
 // handoff is one cross-domain frame in flight: it arrives on dst's
@@ -64,6 +65,7 @@ type domainRT struct {
 type handoff struct {
 	arrive  time.Duration
 	birth   time.Duration
+	depth   uint64 // sender event's causal depth (0 unless profiling)
 	src     int32
 	ifindex int32
 	node    *Node
@@ -151,6 +153,7 @@ func (n *Network) SetDomains(assign []int, scheds []*sim.Scheduler) (time.Durati
 	for i, s := range scheds {
 		d := &domainRT{net: n, id: i, sched: s, pool: frame.NewPool(), bus: n.bus}
 		d.outbox = make([][]handoff, len(scheds))
+		d.handoffTo = make([]uint64, len(scheds))
 		doms[i] = d
 	}
 	// Domain 0 inherits the base pool so buffers already handed out (none
@@ -181,6 +184,24 @@ func (n *Network) Handoffs() uint64 {
 		total += d.handoffs
 	}
 	return total
+}
+
+// HandoffMatrix fills dst — length Domains()² , indexed src*Domains()+to —
+// with the cumulative cross-domain hand-off counts and reports whether the
+// network is partitioned. Coordinator context only (a barrier or between
+// runs): workers append hand-offs during windows, and the window WaitGroup
+// orders those writes before any coordinator read.
+func (n *Network) HandoffMatrix(dst []uint64) bool {
+	if n.doms == nil {
+		return false
+	}
+	k := len(n.doms)
+	for _, d := range n.doms {
+		for to, c := range d.handoffTo {
+			dst[d.id*k+to] = c
+		}
+	}
+	return true
 }
 
 // MergeTies returns how many cross-domain merge decisions were ambiguous:
@@ -312,7 +333,10 @@ func (n *Network) WindowStart(id int) {
 		pa.node = e.node
 		pa.ifindex = int(e.ifindex)
 		pa.fb = nb
-		d.sched.AtBirth(e.arrive, e.birth, pa.fireFn)
+		// AtBirthFrom carries the sender event's causal depth across the
+		// domain boundary, so a profiled run's critical path matches the
+		// chain a serial scheduler would have recorded.
+		d.sched.AtBirthFrom(e.arrive, e.birth, e.depth, pa.fireFn)
 		e.fb = nil
 		e.node = nil
 	}
@@ -420,6 +444,7 @@ func (sd *domainRT) handoffFrame(arrive time.Duration, dst endpoint, fb *frame.B
 	sd.outbox[dd.id] = append(sd.outbox[dd.id], handoff{
 		arrive:  arrive,
 		birth:   sd.sched.Now(),
+		depth:   sd.sched.CurrentDepth(),
 		src:     int32(sd.id),
 		ifindex: int32(dst.ifindex),
 		node:    dst.node,
@@ -427,4 +452,5 @@ func (sd *domainRT) handoffFrame(arrive time.Duration, dst endpoint, fb *frame.B
 	})
 	sd.sentNew = append(sd.sentNew, fb)
 	sd.handoffs++
+	sd.handoffTo[dd.id]++
 }

@@ -1,0 +1,47 @@
+package prof
+
+import (
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// StartPprof starts the Go runtime profilers the CLIs expose as
+// -cpuprofile/-memprofile: host-level profiling of the simulator itself,
+// complementing the simulation-level hydraprof collectors. Either path may
+// be empty. The returned stop function ends the CPU profile and writes the
+// heap profile; call it before the process exits (os.Exit skips defers).
+func StartPprof(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, err
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return err
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return err
+			}
+			runtime.GC() // materialize up-to-date heap statistics
+			err = pprof.WriteHeapProfile(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+			return err
+		}
+		return nil
+	}, nil
+}

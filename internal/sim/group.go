@@ -37,15 +37,17 @@ type Group struct {
 	workers   int
 	now       time.Duration
 
-	windowStart func(domain int) // worker context, before the window runs
-	windowEnd   func(domain int) // worker context, after the window runs
-	barrier     func()           // coordinator context, after every barrier
+	windowStart func(domain int)             // worker context, before the window runs
+	windowEnd   func(domain int)             // worker context, after the window runs
+	barrier     func()                       // coordinator context, after every barrier
 	extEarliest func() (time.Duration, bool) // earliest undelivered hand-off
 
 	mu      sync.Mutex // guards globals (Schedule may be called from hooks)
 	globals []*globalEvent
 	gseq    uint64
 	gfired  uint64 // executed global events (coordinator-only access)
+
+	prof *GroupProf // window/barrier profiler; nil (zero-cost) unless attached
 }
 
 // globalEvent is a barrier-scheduled callback with a cancellation flag.
@@ -210,11 +212,42 @@ func (g *Group) earliestWork() (time.Duration, bool) {
 	return best, ok
 }
 
+// EnableProfile attaches (nil detaches) the window profiler. Coordinator
+// context only, never mid-window. Detached, runWindow and syncBarrier pay a
+// single nil test each and allocate nothing.
+func (g *Group) EnableProfile(p *GroupProf) { g.prof = p }
+
+// Profile returns the attached window profiler, nil when detached.
+func (g *Group) Profile() *GroupProf { return g.prof }
+
 // runWindow executes one parallel phase: every domain drains its inbox
 // (WindowStart), runs events with keys strictly below bound, and flushes
 // its outboxes (WindowEnd). The call returns after all domains finish.
 func (g *Group) runWindow(bound Key) {
+	gp := g.prof
+	if gp != nil {
+		gp.beginWindow(bound)
+	}
 	run := func(d int) {
+		if gp != nil {
+			// Profiled path: bracket the three window phases with wall
+			// reads. Each domain's worker writes only its own slot, and the
+			// coordinator closes the window after the WaitGroup, so the
+			// accounting is race-free by the same discipline as the window
+			// protocol itself.
+			t0 := gp.wallNs()
+			if g.windowStart != nil {
+				g.windowStart(d)
+			}
+			t1 := gp.wallNs()
+			ran := g.scheds[d].RunToKey(bound)
+			t2 := gp.wallNs()
+			if g.windowEnd != nil {
+				g.windowEnd(d)
+			}
+			gp.noteDomain(d, t0, t1, t2, gp.wallNs(), ran)
+			return
+		}
 		if g.windowStart != nil {
 			g.windowStart(d)
 		}
@@ -227,20 +260,23 @@ func (g *Group) runWindow(bound Key) {
 		for d := range g.scheds {
 			run(d)
 		}
-		return
+	} else {
+		var wg sync.WaitGroup
+		wg.Add(g.workers)
+		for w := 0; w < g.workers; w++ {
+			//hydralint:nondeterministic window workers: domain-to-worker striding is fixed, domains share no state inside a window, and outputs merge at barriers in deterministic key order
+			go func(w int) {
+				defer wg.Done()
+				for d := w; d < len(g.scheds); d += g.workers {
+					run(d)
+				}
+			}(w)
+		}
+		wg.Wait()
 	}
-	var wg sync.WaitGroup
-	wg.Add(g.workers)
-	for w := 0; w < g.workers; w++ {
-		//hydralint:nondeterministic window workers: domain-to-worker striding is fixed, domains share no state inside a window, and outputs merge at barriers in deterministic key order
-		go func(w int) {
-			defer wg.Done()
-			for d := w; d < len(g.scheds); d += g.workers {
-				run(d)
-			}
-		}(w)
+	if gp != nil {
+		gp.endWindow()
 	}
-	wg.Wait()
 }
 
 // RunUntil advances the whole group to the absolute virtual instant
@@ -327,9 +363,16 @@ func (g *Group) advance(t time.Duration) {
 	}
 }
 
-// syncBarrier runs the coordinator barrier hook.
+// syncBarrier runs the coordinator barrier hook, timing it when profiled.
 func (g *Group) syncBarrier() {
-	if g.barrier != nil {
-		g.barrier()
+	if g.barrier == nil {
+		return
 	}
+	if gp := g.prof; gp != nil {
+		t0 := gp.wallNs()
+		g.barrier()
+		gp.noteBarrier(gp.wallNs() - t0)
+		return
+	}
+	g.barrier()
 }

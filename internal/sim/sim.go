@@ -31,6 +31,7 @@ type eventNode struct {
 	birth     time.Duration // virtual time the event was scheduled at
 	seq       uint64
 	gen       uint64
+	depth     uint64 // causal depth (parent's depth + 1); 0 unless profiling
 	s         *Scheduler
 	index     int32 // heap index; -1 once removed
 	cancelled bool
@@ -89,6 +90,9 @@ type Scheduler struct {
 	rng      *rand.Rand
 	fired    uint64
 	running  bool
+
+	prof     *SchedProf // causal profiler; nil (zero-cost) unless attached
+	curDepth uint64     // causal depth of the event currently executing
 }
 
 // NewScheduler returns a scheduler with its clock at zero and a PRNG seeded
@@ -147,11 +151,41 @@ func (s *Scheduler) AtBirth(t, birth time.Duration, fn func()) Event {
 	n.seq = s.nextSeq
 	n.fn = fn
 	n.cancelled = false
+	if p := s.prof; p != nil {
+		// Child depth: one past the executing parent. Coordinator-context
+		// scheduling (between runs, or a barrier-hosted global callback —
+		// the scheduler is not running) roots a fresh chain at depth zero,
+		// which keeps depths identical for a serial run and any partition.
+		d := uint64(0)
+		if s.running {
+			d = s.curDepth + 1
+		}
+		n.depth = d
+		p.noteEdge(s.now, s.curBirth, t, birth, d)
+	} else {
+		n.depth = 0
+	}
 	s.nextSeq++
 	n.index = int32(len(s.heap))
 	s.heap = append(s.heap, n)
 	s.siftUp(int(n.index))
 	return Event{n: n, gen: n.gen}
+}
+
+// AtBirthFrom schedules like AtBirth but carries an explicit causal depth
+// for the scheduling parent: cross-scheduler hand-off merges (see the
+// netsim domain inboxes) pass the depth recorded in the source domain, so
+// the critical-path profiler sees the same parent→child chain a single
+// serial scheduler would have recorded. Without a profiler attached the
+// depth is ignored entirely.
+//
+//hydralint:zeroalloc
+func (s *Scheduler) AtBirthFrom(t, birth time.Duration, parentDepth uint64, fn func()) Event {
+	ev := s.AtBirth(t, birth, fn)
+	if s.prof != nil {
+		ev.n.depth = parentDepth + 1
+	}
+	return ev
 }
 
 // After schedules fn to run d after the current virtual time.
@@ -180,6 +214,15 @@ func (s *Scheduler) Step() bool {
 		s.curBirth = n.birth
 		s.curSeq = n.seq
 		s.fired++
+		if p := s.prof; p != nil {
+			// The maximum folds in at fire time, not schedule time, so
+			// cancelled events (Timer.Reset orphans) never stretch the path.
+			s.curDepth = n.depth
+			if n.depth > p.maxDepth {
+				p.maxDepth = n.depth
+				p.deepAt = n.at
+			}
+		}
 		fn := n.fn
 		s.recycle(n)
 		fn()
@@ -260,6 +303,25 @@ func (s *Scheduler) NextKey() (Key, bool) {
 func (s *Scheduler) CurrentKey() (key Key, seq uint64) {
 	return Key{At: s.now, Birth: s.curBirth}, s.curSeq
 }
+
+// CurrentDepth returns the causal depth of the event currently executing
+// (or most recently executed). Always 0 with no profiler attached; hand-off
+// producers read it to stamp cross-scheduler work with the sender's depth.
+//
+//hydralint:zeroalloc
+func (s *Scheduler) CurrentDepth() uint64 { return s.curDepth }
+
+// EnableProfile attaches (nil detaches) the causal profiler and resets the
+// depth baseline, so chains rooted after the call start at depth zero. A
+// detached scheduler pays one nil test per schedule/fire and allocates
+// nothing. Coordinator context only (never from inside an event).
+func (s *Scheduler) EnableProfile(p *SchedProf) {
+	s.prof = p
+	s.curDepth = 0
+}
+
+// Profile returns the attached causal profiler, nil when detached.
+func (s *Scheduler) Profile() *SchedProf { return s.prof }
 
 // RunToKey executes every pending event whose key is strictly below bound,
 // in order, and returns the number executed. The clock is left at the last

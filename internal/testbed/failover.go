@@ -47,6 +47,9 @@ type FailoverConfig struct {
 	// SampleEvery is the telemetry sampling cadence (default 100 ms of
 	// virtual time). Used only with SeriesPath.
 	SampleEvery time.Duration
+	// ProfilePath, if set, writes a hydraprof profile of the run (detection
+	// and recovery included; see hydranet.StartProfile) to this file.
+	ProfilePath string
 	// Workers partitions the network into synchronization domains across
 	// this many worker threads (see hydranet.SetWorkers). 0 or 1 keeps the
 	// serial scheduler. With Loss > 0 the loss pattern is drawn from
@@ -157,6 +160,15 @@ func MeasureFailover(cfg FailoverConfig) FailoverResult {
 	}
 	net.Settle()
 
+	// Attach after registration settles, so the profile covers the stream,
+	// the crash, detection and recovery — the phases the report attributes.
+	var profiler *hydranet.Profiler
+	if cfg.ProfilePath != "" {
+		profiler = net.StartProfile(hydranet.ProfileConfig{
+			Scenario: fmt.Sprintf("failover threshold=%d workers=%d", cfg.Threshold, cfg.Workers),
+		})
+	}
+
 	var res FailoverResult
 	var crashTime time.Duration
 	// The reconfiguration callback runs in the redirector domain's worker
@@ -244,6 +256,11 @@ func MeasureFailover(cfg FailoverConfig) FailoverResult {
 	if tel != nil {
 		tel.Stop()
 		if err := tel.WriteFile(cfg.SeriesPath); err != nil {
+			panic(err)
+		}
+	}
+	if profiler != nil {
+		if err := profiler.WriteFile(cfg.ProfilePath); err != nil {
 			panic(err)
 		}
 	}

@@ -28,6 +28,10 @@ type ScaleConfig struct {
 	TotalBytes int
 	// Seed is the simulation seed.
 	Seed int64
+	// ProfilePath, if set, writes a hydraprof profile of the transfers
+	// (per-domain utilization, hand-off matrix, causal critical path; see
+	// hydranet.StartProfile) to this file.
+	ProfilePath string
 }
 
 // ScaleResult reports one RunScale execution.
@@ -133,6 +137,15 @@ func RunScale(cfg ScaleConfig) ScaleResult {
 	}
 	net.Settle()
 
+	// Attach after registration settles: the profile's event and
+	// critical-path baselines then cover exactly the measured transfers.
+	var profiler *hydranet.Profiler
+	if cfg.ProfilePath != "" {
+		profiler = net.StartProfile(hydranet.ProfileConfig{
+			Scenario: fmt.Sprintf("scale pods=%d workers=%d", cfg.Pods, cfg.Workers),
+		})
+	}
+
 	remaining := len(pods)
 	var aggKBps float64
 	for i := range pods {
@@ -157,6 +170,11 @@ func RunScale(cfg ScaleConfig) ScaleResult {
 	wall := time.Since(start)
 	if remaining > 0 {
 		panic(fmt.Sprintf("testbed: scale run wedged with %d pods unfinished", remaining))
+	}
+	if profiler != nil {
+		if err := profiler.WriteFile(cfg.ProfilePath); err != nil {
+			panic(err)
+		}
 	}
 
 	domains, workers := net.Parallel()

@@ -114,6 +114,10 @@ type Config struct {
 	// SampleEvery is the telemetry sampling cadence (default 100 ms of
 	// virtual time). Used only with SeriesPath.
 	SampleEvery time.Duration
+	// ProfilePath, if set, writes a hydraprof profile of the measured
+	// transfer (per-domain utilization, causal critical path; see
+	// hydranet.StartProfile) to this file.
+	ProfilePath string
 	// Workers partitions the network into synchronization domains and runs
 	// them across this many worker threads (see hydranet.SetWorkers). 0 or 1
 	// keeps the serial scheduler; any larger count produces identical
@@ -305,6 +309,14 @@ func run(cfg Config) (ttcp.Result, *hydranet.Net) {
 	if cfg.SeriesPath != "" {
 		tel = net.StartSampler(hydranet.SamplerConfig{Every: cfg.SampleEvery})
 	}
+	// So does the profiler: its event and critical-path baselines reset at
+	// attach, so the profile covers exactly the measured transfer.
+	var profiler *hydranet.Profiler
+	if cfg.ProfilePath != "" {
+		profiler = net.StartProfile(hydranet.ProfileConfig{
+			Scenario: fmt.Sprintf("figure4 %s buf=%d", cfg.Case, cfg.BufLen),
+		})
+	}
 
 	// Generous ceiling: slow small-packet runs take tens of virtual
 	// seconds; a wedged run stops here instead of spinning forever.
@@ -320,6 +332,11 @@ func run(cfg Config) (ttcp.Result, *hydranet.Net) {
 	if tel != nil {
 		tel.Stop()
 		if err := tel.WriteFile(cfg.SeriesPath); err != nil {
+			panic(err)
+		}
+	}
+	if profiler != nil {
+		if err := profiler.WriteFile(cfg.ProfilePath); err != nil {
 			panic(err)
 		}
 	}

@@ -191,6 +191,9 @@ func (n *Net) Partition(groups [][]*Host, workers int) error {
 	if n.par != nil {
 		return fmt.Errorf("hydranet: network already partitioned")
 	}
+	if n.profiler != nil {
+		return fmt.Errorf("hydranet: partition after StartProfile — attach the profiler after SetWorkers")
+	}
 	if len(groups) == 0 {
 		return fmt.Errorf("hydranet: empty partition")
 	}
