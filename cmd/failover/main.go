@@ -28,6 +28,7 @@ type row struct {
 	Suspicions     uint64  `json:"suspicions"`
 	FalseReconfigs int     `json:"false_reconfigs"`
 	ClientError    string  `json:"client_error,omitempty"`
+	Violations     int     `json:"violations,omitempty"`
 }
 
 func main() {
@@ -43,6 +44,8 @@ func main() {
 	seriesPrefix := flag.String("series", "", "export each run's time series (with health verdicts) to PREFIX-t<threshold>.jsonl")
 	sampleEvery := flag.Duration("sample-every", 0, "telemetry sampling cadence for -series (default 100ms of virtual time)")
 	profPrefix := flag.String("prof", "", "write each run's hydraprof profile to PREFIX-t<threshold>.prof.json; render with hydrascope profile")
+	invariants := flag.Bool("invariants", false, "run the online protocol-invariant monitor in every run; exit 1 on any violation")
+	auditPrefix := flag.String("audit", "", "write each run's invariant audit report to PREFIX-t<threshold>.audit.json (implies -invariants)")
 	cpuProfile := flag.String("cpuprofile", "", "write a Go runtime CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a Go runtime heap profile to this file at exit")
 	flag.Parse()
@@ -84,6 +87,10 @@ func main() {
 		if *profPrefix != "" {
 			cfg.ProfilePath = fmt.Sprintf("%s-t%d.prof.json", *profPrefix, thresholds[i])
 		}
+		cfg.Invariants = *invariants
+		if *auditPrefix != "" {
+			cfg.AuditPath = fmt.Sprintf("%s-t%d.audit.json", *auditPrefix, thresholds[i])
+		}
 		res := testbed.MeasureFailover(cfg)
 		r := row{
 			Threshold:      thresholds[i],
@@ -91,12 +98,18 @@ func main() {
 			ResumeMS:       res.Resumed.Seconds() * 1000,
 			Suspicions:     res.Suspicions,
 			FalseReconfigs: res.FalseReconfigs,
+			Violations:     res.Violations,
 		}
 		if res.ClientError != nil {
 			r.ClientError = res.ClientError.Error()
 		}
 		return r
 	})
+
+	totalViolations := 0
+	for _, r := range rows {
+		totalViolations += r.Violations
+	}
 
 	finishPprof := func() {
 		if err := stopPprof(); err != nil {
@@ -114,6 +127,9 @@ func main() {
 			os.Exit(1)
 		}
 		finishPprof()
+		if totalViolations > 0 {
+			os.Exit(1)
+		}
 		return
 	}
 
@@ -133,7 +149,17 @@ func main() {
 	}
 	w.Flush()
 	fmt.Println("\ndetect: crash → redirector reconfiguration; resume: crash → first new byte at the client")
+	if *invariants || *auditPrefix != "" {
+		if totalViolations > 0 {
+			fmt.Printf("invariants: %d VIOLATIONS across the sweep\n", totalViolations)
+		} else {
+			fmt.Println("invariants: clean across the sweep")
+		}
+	}
 	finishPprof()
+	if totalViolations > 0 {
+		os.Exit(1)
+	}
 }
 
 func ms(d time.Duration) string {

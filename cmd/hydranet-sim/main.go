@@ -81,6 +81,8 @@ func main() {
 	sampleEvery := flag.Duration("sample-every", 0, "telemetry sampling cadence for -series (default 100ms of virtual time)")
 	workers := flag.Int("workers", 1, "worker threads (domain-partitioned parallel run; every output is identical for every count)")
 	profPath := flag.String("prof", "", "write a hydraprof profile (per-domain utilization, causal critical path) to this file; render with hydrascope profile")
+	invariants := flag.Bool("invariants", false, "run the online protocol-invariant monitor; exit 1 on any violation")
+	auditPath := flag.String("audit", "", "write the invariant audit report as JSON to this file (implies -invariants); inspect with hydrascope audit")
 	cpuProfile := flag.String("cpuprofile", "", "write a Go runtime CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a Go runtime heap profile to this file at exit")
 	flag.Parse()
@@ -139,6 +141,19 @@ func main() {
 		})
 	}
 
+	// The monitor attaches after the partition (it consumes the
+	// barrier-ordered replayed stream) and before DeployFT (it
+	// reconstructs replica-set membership from registration events). The
+	// scenario label deliberately omits the worker count: audit reports
+	// from the same seed diff byte-identical across -workers.
+	var mon *hydranet.Monitor
+	if *invariants || *auditPath != "" {
+		mon = net.StartMonitor(hydranet.MonitorConfig{
+			Scenario: fmt.Sprintf("hydranet-sim replicas=%d bytes=%d crash=%s",
+				*replicas, *bytes, *crashWho),
+		})
+	}
+
 	if *traceSegs > 0 {
 		tr := trace.New(os.Stdout, net.Scheduler())
 		tr.SetLimit(uint64(*traceSegs))
@@ -185,6 +200,11 @@ func main() {
 	if *flightPrefix != "" {
 		flight = net.StartFlightRecorder(0, 0)
 		flight.DumpOnFailover(probe, *flightPrefix)
+		if mon != nil {
+			// A violation dumps the forensic bundle the instant it is
+			// recorded, while the offending frames are still in the rings.
+			flight.DumpOnViolation(mon, *flightPrefix+"-violation")
+		}
 	}
 	var spans *hydranet.SpanCollector
 	if *spansPath != "" || *stats || *seriesPath != "" {
@@ -437,6 +457,28 @@ func main() {
 		}
 		logf("hydraprof profile written to %s (render with: hydrascope profile %s)", *profPath, *profPath)
 	}
+	auditClean := true
+	if mon != nil {
+		audit := net.FinishAudit(mon)
+		auditClean = audit.Clean
+		if audit.Clean {
+			fmt.Printf("\ninvariants: clean (%d checks over %d events, %d frames)\n",
+				audit.Checks, audit.Events, audit.Frames)
+		} else {
+			fmt.Printf("\ninvariants: %d VIOLATIONS (%d checks over %d events):\n",
+				audit.TotalViolations(), audit.Checks, audit.Events)
+			for _, v := range audit.Violations {
+				fmt.Printf("  %s\n", v)
+			}
+		}
+		if *auditPath != "" {
+			if err := audit.WriteJSON(*auditPath); err != nil {
+				fmt.Fprintf(os.Stderr, "hydranet-sim: -audit: %v\n", err)
+				os.Exit(1)
+			}
+			logf("audit report written to %s (render with: hydrascope audit %s)", *auditPath, *auditPath)
+		}
+	}
 	if *verbose {
 		fmt.Printf("\nvirtual time elapsed: %v\n", net.Now())
 	}
@@ -444,7 +486,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "hydranet-sim: pprof: %v\n", err)
 		os.Exit(1)
 	}
-	if received < *bytes {
+	if received < *bytes || !auditClean {
 		os.Exit(1)
 	}
 }

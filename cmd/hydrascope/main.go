@@ -8,6 +8,7 @@
 //
 //	hydrascope report RUN [-spans FILE]
 //	hydrascope profile PROF [-trace OUT.json]
+//	hydrascope audit FILE [-fail-on-violation]
 //	hydrascope diff A B [-tol 0.02] [-stall-tol 0]
 //
 // report loads a -series export (JSONL or CSV, sniffed from content) and
@@ -21,6 +22,13 @@
 // ideal-speedup bound, and a recommended -workers count. -trace also
 // writes a Chrome trace-event (Perfetto) JSON rendering of the retained
 // windows; open it at https://ui.perfetto.dev.
+//
+// audit loads a protocol-invariant audit report (written by the -audit
+// flag on hydranet-sim, failover and the testbed) and renders the verdict,
+// the per-rule evaluation census, the event mix and any retained forensic
+// violation records. -fail-on-violation exits 1 when the run was dirty, so
+// CI can gate on protocol correctness the same way diff gates on
+// performance.
 //
 // diff compares two runs. Two series exports compare per-series run
 // aggregates (counter totals, gauge mean/max) plus the failover phase
@@ -46,6 +54,7 @@ func usage() {
 	fmt.Fprintf(os.Stderr, `usage:
   hydrascope report RUN [-spans FILE]          render a run report
   hydrascope profile PROF [-trace OUT.json]    render a hydraprof profile
+  hydrascope audit FILE [-fail-on-violation]   render an invariant audit report
   hydrascope diff A B [-tol 0.02] [-stall-tol 0]  diff two runs; exit 1 on regression
 `)
 	os.Exit(2)
@@ -60,6 +69,8 @@ func main() {
 		report(os.Args[2:])
 	case "profile":
 		profile(os.Args[2:])
+	case "audit":
+		audit(os.Args[2:])
 	case "diff":
 		diff(os.Args[2:])
 	default:
@@ -133,6 +144,33 @@ func profile(args []string) {
 			fatal(err)
 		}
 		fmt.Printf("wrote trace %s (load at https://ui.perfetto.dev)\n", *tracePath)
+	}
+}
+
+func audit(args []string) {
+	fs := flag.NewFlagSet("audit", flag.ExitOnError)
+	failOnViolation := fs.Bool("fail-on-violation", false, "exit 1 when the audited run recorded any violation")
+	// As in diff: re-parse past the positional so trailing flags work.
+	fs.Parse(args)
+	rest := fs.Args()
+	if len(rest) > 1 {
+		fs.Parse(rest[1:])
+		if fs.NArg() != 0 {
+			usage()
+		}
+	}
+	if len(rest) < 1 {
+		usage()
+	}
+	r, err := scope.LoadAuditFile(rest[0])
+	if err != nil {
+		fatal(err)
+	}
+	if err := scope.WriteAuditReport(os.Stdout, r); err != nil {
+		fatal(err)
+	}
+	if *failOnViolation && !r.Clean {
+		os.Exit(1)
 	}
 }
 

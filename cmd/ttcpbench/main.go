@@ -55,6 +55,7 @@ func main() {
 	seriesPath := flag.String("series", "", "additionally export time series of one primary-and-backup run (1024-byte writes) to this file (JSONL, or CSV with a .csv extension)")
 	sampleEvery := flag.Duration("sample-every", 0, "telemetry sampling cadence for -series (default 100ms of virtual time)")
 	profPath := flag.String("prof", "", "write hydraprof profiles: with -scale, PREFIX-w<N>.prof.json per worker count; otherwise profile one dedicated primary-and-backup run (1024-byte writes) to this file")
+	invariants := flag.Bool("invariants", false, "run the online protocol-invariant monitor in every measurement run; exit 1 on any violation")
 	cpuProfile := flag.String("cpuprofile", "", "write a Go runtime CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a Go runtime heap profile to this file at exit")
 	flag.Parse()
@@ -72,7 +73,7 @@ func main() {
 	}
 
 	if *scalePath != "" {
-		runScaleBench(*scalePath, *scalePods, *total, *seed, *profPath)
+		runScaleBench(*scalePath, *scalePods, *total, *seed, *profPath, *invariants)
 		finishPprof()
 		return
 	}
@@ -105,7 +106,7 @@ func main() {
 		res, info := testbed.RunMeasured(testbed.Config{
 			Case: j.c, BufLen: j.size, TotalBytes: *total,
 			Seed: *seed + int64(j.rep), Backups: *backups,
-			Workers: *workers,
+			Workers: *workers, Invariants: *invariants,
 		})
 		out := jobResult{kbps: res.ThroughputKBps(), err: res.Err, info: info}
 		if serial {
@@ -173,6 +174,18 @@ func main() {
 	fmt.Print(table)
 	fmt.Println("\nthroughput in kBytes/sec; rows correspond to the paper's x-axis")
 	fmt.Printf("swept %d runs in %v\n", len(jobs), wall.Round(time.Millisecond))
+	if *invariants {
+		totalViolations := 0
+		for _, r := range results {
+			totalViolations += r.info.Violations
+		}
+		if totalViolations > 0 {
+			fmt.Printf("invariants: %d VIOLATIONS across the sweep\n", totalViolations)
+			finishPprof()
+			os.Exit(1)
+		}
+		fmt.Println("invariants: clean across the sweep")
+	}
 
 	if *pcapPath != "" {
 		// One extra, dedicated capture run: capturing inside the sweep
@@ -254,23 +267,27 @@ var scaleWorkerCounts = []int{1, 2, 4, 8}
 // are simulation observables and must be identical across the rows — the
 // wall-clock column is the one the partitioned scheduler exists to shrink.
 // profPrefix, when set, writes a hydraprof profile per worker count to
-// PREFIX-w<N>.prof.json alongside the JSON record.
-func runScaleBench(path string, pods, total int, seed int64, profPrefix string) {
+// PREFIX-w<N>.prof.json alongside the JSON record. invariants attaches the
+// protocol-invariant monitor to every row; any violation exits 1.
+func runScaleBench(path string, pods, total int, seed int64, profPrefix string, invariants bool) {
 	fmt.Printf("parallel-core scaling: %d pods (one synchronization domain each), %d bytes per pod, seed %d\n\n",
 		pods, total, seed)
 
 	table := metrics.NewTable("workers", "wall [ms]", "speedup", "agg kB/s", "events", "handoffs", "ties")
 	var entries []scope.BenchEntry
 	var baseline time.Duration
+	totalViolations := 0
 	start := time.Now()
 	for _, w := range scaleWorkerCounts {
 		cfg := testbed.ScaleConfig{
 			Pods: pods, Workers: w, TotalBytes: total, Seed: seed,
+			Invariants: invariants,
 		}
 		if profPrefix != "" {
 			cfg.ProfilePath = fmt.Sprintf("%s-w%d.prof.json", profPrefix, w)
 		}
 		r := testbed.RunScale(cfg)
+		totalViolations += r.Violations
 		if w == 1 {
 			baseline = r.Wall
 		}
@@ -315,6 +332,13 @@ func runScaleBench(path string, pods, total int, seed int64, profPrefix string) 
 	wall := time.Since(start)
 	fmt.Print(table)
 	fmt.Printf("\nswept %d worker counts in %v\n", len(scaleWorkerCounts), wall.Round(time.Millisecond))
+	if invariants {
+		if totalViolations > 0 {
+			fmt.Printf("invariants: %d VIOLATIONS across the sweep\n", totalViolations)
+			os.Exit(1)
+		}
+		fmt.Println("invariants: clean across the sweep")
+	}
 
 	bf := scope.BenchFile{
 		Description: "HydraNet-FT parallel-core scaling: pod workload per worker count",

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"hydranet/internal/frame"
+	"hydranet/internal/invariant"
 	"hydranet/internal/netsim"
 	"hydranet/internal/obs"
 )
@@ -256,6 +257,24 @@ func (f *FlightRecorder) Dump(prefix string) error {
 // failover (crash → promotion) is observed.
 func (f *FlightRecorder) DumpOnFailover(p *obs.FailoverProbe, prefix string) {
 	p.OnFailover(func(obs.FailoverReport) {
+		if err := f.Dump(prefix); err != nil {
+			fmt.Fprintf(os.Stderr, "flight recorder dump failed: %v\n", err)
+		}
+	})
+}
+
+// DumpOnViolation hooks the invariant monitor so the rings are dumped the
+// instant the first violation is recorded — the forensic bundle's pcap
+// window, preserved while the offending frames are still in the rings.
+// Only the first violation dumps: a sick run can violate on every segment,
+// and the first instant is the one the surrounding window still covers.
+func (f *FlightRecorder) DumpOnViolation(m *invariant.Monitor, prefix string) {
+	fired := false
+	m.OnViolation(func(invariant.Violation) {
+		if fired {
+			return
+		}
+		fired = true
 		if err := f.Dump(prefix); err != nil {
 			fmt.Fprintf(os.Stderr, "flight recorder dump failed: %v\n", err)
 		}

@@ -78,6 +78,10 @@ var coveredPkgs = []string{
 	// simulation loop: a wall-clock read or map-ordered emission there
 	// would make series exports (and hydrascope diffs of them) flap.
 	"internal/series",
+	// The invariant monitor's verdicts must be byte-identical across
+	// worker counts: a map-ordered violation emission or wall-clock stamp
+	// would break audit-report parity.
+	"internal/invariant",
 }
 
 // bannedTimeFuncs read the wall clock or the runtime timer heap.

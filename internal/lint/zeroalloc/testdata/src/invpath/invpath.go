@@ -1,0 +1,98 @@
+// Package invpath is zeroalloc-analyzer testdata shaped like the invariant
+// monitor's hot path: per-event cursor checks against pre-built per-flow
+// state, recording violations into a bounded slice with constant detail
+// strings and integer want/got fields. The monitor observes every deposit
+// and ack while attached, so its promise matches the bus subscriber's:
+// free beyond map/slice writes. Each function below seeds one way that
+// promise quietly breaks.
+package invpath
+
+import "fmt"
+
+type cursor struct {
+	val  uint64
+	seen bool
+}
+
+type violation struct {
+	rule     string
+	detail   string
+	want, got uint64
+}
+
+type monitor struct {
+	cursors    map[string]*cursor
+	violations []violation
+	checks     uint64
+}
+
+var sink any
+
+// noteDeposit is the canonical hot-path check: map lookup into state built
+// at attach time, serial-arithmetic comparison, append on the (rare)
+// violating branch with a constant detail string. Must stay clean.
+//
+//hydralint:zeroalloc
+func (m *monitor) noteDeposit(node string, seq, size uint64) {
+	c := m.cursors[node]
+	if c == nil {
+		return
+	}
+	m.checks++
+	if c.seen {
+		if want := c.val + size; seq != want {
+			m.violations = append(m.violations, violation{
+				rule: "deposit-cursor", detail: "cursor discontinuity",
+				want: want, got: seq,
+			})
+		}
+	}
+	c.val, c.seen = seq, true
+}
+
+// noteAck is the root the bus calls per ack event: it gates through a
+// same-package helper, which therefore inherits the constraint.
+//
+//hydralint:zeroalloc
+func (m *monitor) noteAck(node string, ack uint64) {
+	m.gate(m.cursors[node], ack)
+}
+
+// gate is NOT annotated, but noteAck reaches it, so its debug print is on
+// the zeroalloc path.
+func (m *monitor) gate(c *cursor, ack uint64) {
+	if c == nil || !c.seen {
+		return
+	}
+	m.checks++
+	if ack > c.val+1 {
+		fmt.Printf("ack %d beyond gate %d\n", ack, c.val+1) // want "fmt.Printf allocates in zeroalloc function gate \(on the zeroalloc path of noteAck\)"
+	}
+}
+
+// noteDepositTraced boxes the check counter into an any-typed trace hook on
+// every event. (Passing the *monitor itself would be clean — pointers fit
+// the iface word — which is exactly why the scalar is the tempting
+// mistake.)
+//
+//hydralint:zeroalloc
+func (m *monitor) noteDepositTraced(node string, seq, size uint64) {
+	trace(m.checks) // want "argument boxes uint64 into any in zeroalloc function noteDepositTraced"
+	m.noteDeposit(node, seq, size)
+}
+
+// noteDepositDeferred builds a capturing closure per event — the "record
+// lazily" allocation the real monitor avoids by storing structured fields
+// immediately and rendering only in the cold report path.
+//
+//hydralint:zeroalloc
+func (m *monitor) noteDepositDeferred(node string, seq, size uint64) {
+	defer func() { m.noteDeposit(node, seq, size) }() // want "closure captures .* and forces a heap allocation in zeroalloc function noteDepositDeferred"
+}
+
+// report runs offline, after detach: unannotated, may allocate.
+func (m *monitor) report() string {
+	return fmt.Sprintf("%d checks, %d violations", m.checks, len(m.violations))
+}
+
+func trace(v any) { sink = v }

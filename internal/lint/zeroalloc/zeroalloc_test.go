@@ -19,3 +19,7 @@ func TestSamplerPath(t *testing.T) {
 func TestProfPath(t *testing.T) {
 	linttest.Run(t, zeroalloc.Analyzer, filepath.Join(linttest.TestData(t), "src", "profpath"))
 }
+
+func TestInvPath(t *testing.T) {
+	linttest.Run(t, zeroalloc.Analyzer, filepath.Join(linttest.TestData(t), "src", "invpath"))
+}

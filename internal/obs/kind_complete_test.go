@@ -1,0 +1,73 @@
+package obs
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestKindTableComplete is the completeness fence for new event kinds:
+// every Kind must have a kindNames entry (non-empty, unique, stable
+// through JSON), must fit the bus's uint64 subscription mask, and must be
+// enumerated by Kinds(). Adding a Kind without growing the table, or past
+// 64 kinds, fails here — before the new kind can silently escape the
+// observers and the invariant monitor's oracle (whose own mapping fence is
+// invariant.TestKindRoleComplete).
+func TestKindTableComplete(t *testing.T) {
+	kinds := Kinds()
+	if len(kinds) != int(numKinds) {
+		t.Fatalf("Kinds() returns %d kinds, enum declares %d", len(kinds), int(numKinds))
+	}
+	if int(numKinds) > 64 {
+		t.Fatalf("%d kinds no longer fit the bus's uint64 mask", int(numKinds))
+	}
+	seen := make(map[string]Kind, len(kinds))
+	for _, k := range kinds {
+		name := kindNames[k]
+		if name == "" {
+			t.Errorf("kind %d has no kindNames entry", int(k))
+			continue
+		}
+		if prev, dup := seen[name]; dup {
+			t.Errorf("kinds %d and %d share the name %q", int(prev), int(k), name)
+		}
+		seen[name] = k
+
+		data, err := json.Marshal(k)
+		if err != nil {
+			t.Fatalf("kind %v does not marshal: %v", k, err)
+		}
+		var quoted string
+		if err := json.Unmarshal(data, &quoted); err != nil || quoted != name {
+			t.Errorf("kind %v marshals to %s, want %q", k, data, name)
+		}
+		var back Kind
+		if err := json.Unmarshal(data, &back); err != nil || back != k {
+			t.Errorf("kind %v does not round-trip: got %v, err %v", k, back, err)
+		}
+	}
+	var bogus Kind
+	if err := json.Unmarshal([]byte(`"no-such-kind"`), &bogus); err == nil {
+		t.Error("unknown kind name unmarshaled without error")
+	}
+}
+
+// TestKindMaskBits pins each kind's subscription bit: a reordered enum
+// silently changes every persisted mask, so the declaration order is API.
+func TestKindMaskBits(t *testing.T) {
+	order := []Kind{
+		KindPacketLoss, KindQueueDrop, KindMTUDrop, KindNodeCrash,
+		KindNodeRestart, KindRetransmit, KindRTO, KindFastRetransmit,
+		KindDeposit, KindAckProgress, KindMulticast, KindRedirect,
+		KindTunnelError, KindChainSend, KindChainRecv, KindSuspicion,
+		KindPromotion, KindDemotion, KindRegistration, KindReconfig,
+		KindRecommission, KindClientDeliver,
+	}
+	if len(order) != int(numKinds) {
+		t.Fatalf("pin list has %d kinds, enum declares %d — extend this test with the new kind", len(order), int(numKinds))
+	}
+	for i, k := range order {
+		if int(k) != i {
+			t.Errorf("kind %v sits at bit %d, pinned at %d", k, int(k), i)
+		}
+	}
+}

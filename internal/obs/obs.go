@@ -12,6 +12,7 @@
 package obs
 
 import (
+	"encoding/json"
 	"fmt"
 	"strings"
 	"time"
@@ -94,6 +95,21 @@ func (k Kind) String() string {
 // MarshalJSON renders the kind by name.
 func (k Kind) MarshalJSON() ([]byte, error) {
 	return []byte(`"` + k.String() + `"`), nil
+}
+
+// UnmarshalJSON resolves a kind from its marshaled name, so events round-trip
+// through exports (audit reports, flight-recorder dumps).
+func (k *Kind) UnmarshalJSON(data []byte) error {
+	var name string
+	if err := json.Unmarshal(data, &name); err != nil {
+		return err
+	}
+	kind, ok := KindByName(name)
+	if !ok {
+		return fmt.Errorf("obs: unknown event kind %q", name)
+	}
+	*k = kind
+	return nil
 }
 
 // Kinds returns every defined kind, in declaration order.

@@ -1,0 +1,99 @@
+package scope
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"hydranet/internal/invariant"
+	"hydranet/internal/metrics"
+)
+
+// LoadAuditFile loads an invariant-monitor audit report (written by the
+// -audit flag on hydranet-sim, failover and the testbed).
+func LoadAuditFile(path string) (*invariant.Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r invariant.Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(r.Rules) == 0 {
+		return nil, fmt.Errorf("%s: no rule census — not an audit report", path)
+	}
+	return &r, nil
+}
+
+// IsAuditFile sniffs whether path holds an invariant audit report (an
+// object with a per-rule census) rather than a bench or profile file.
+func IsAuditFile(path string) bool {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return false
+	}
+	// Decode just the discriminating shape: an audit report always carries
+	// its rule census; bench files carry "entries" and profiles "domains".
+	var probe struct {
+		Rules []struct {
+			Rule string `json:"rule"`
+		} `json:"rules"`
+	}
+	if err := json.Unmarshal(data, &probe); err != nil {
+		return false
+	}
+	return len(probe.Rules) > 0 && probe.Rules[0].Rule != ""
+}
+
+// WriteAuditReport renders an audit report for the terminal: the verdict,
+// the per-rule evaluation census, the observed event mix, and — when the
+// run was dirty — every retained forensic violation record.
+func WriteAuditReport(w io.Writer, r *invariant.Report) error {
+	if r.Scenario != "" {
+		fmt.Fprintf(w, "scenario: %s\n", r.Scenario)
+	}
+	verdict := "CLEAN"
+	if !r.Clean {
+		verdict = fmt.Sprintf("%d VIOLATION(S)", r.TotalViolations())
+	}
+	fmt.Fprintf(w, "verdict: %s — %d checks over %d events, %d frames (%d bytes)\n",
+		verdict, r.Checks, r.Events, r.Frames, r.FrameBytes)
+	if r.QuiesceChecked {
+		fmt.Fprintf(w, "quiesce: checked, %d outstanding fabric frame(s)\n", r.OutstandingFrames)
+	} else {
+		fmt.Fprintln(w, "quiesce: not reached — frame conservation undecided")
+	}
+
+	fmt.Fprintln(w)
+	rules := metrics.NewTable("rule", "checks", "violations")
+	for _, rr := range r.Rules {
+		rules.AddRow(rr.Rule, fmt.Sprintf("%d", rr.Checks), fmt.Sprintf("%d", rr.Violations))
+	}
+	if _, err := io.WriteString(w, rules.String()); err != nil {
+		return err
+	}
+
+	if len(r.EventCounts) > 0 {
+		fmt.Fprintln(w)
+		kinds := metrics.NewTable("event kind", "count")
+		for _, kc := range r.EventCounts {
+			kinds.AddRow(kc.Kind, fmt.Sprintf("%d", kc.Count))
+		}
+		if _, err := io.WriteString(w, kinds.String()); err != nil {
+			return err
+		}
+	}
+
+	if len(r.Violations) > 0 {
+		fmt.Fprintf(w, "\nforensic records (%d retained):\n", len(r.Violations))
+		for _, v := range r.Violations {
+			fmt.Fprintf(w, "  %s\n", v)
+		}
+		if retained, total := uint64(len(r.Violations)), r.TotalViolations(); total > retained {
+			fmt.Fprintf(w, "  ... %d further violation(s) counted but not retained\n", total-retained)
+		}
+	}
+	return nil
+}

@@ -57,6 +57,12 @@ type FailoverConfig struct {
 	// worker-count-invariant but sample a different loss sequence than the
 	// serial scheduler.
 	Workers int
+	// Invariants attaches the online protocol-invariant monitor; violation
+	// counts land in FailoverResult.Violations.
+	Invariants bool
+	// AuditPath, if set, writes the monitor's audit report as JSON here
+	// (implies Invariants).
+	AuditPath string
 }
 
 // FailoverResult reports what happened.
@@ -76,6 +82,9 @@ type FailoverResult struct {
 	// ClientError is non-nil if the client connection broke — a failure of
 	// transparency.
 	ClientError error
+	// Violations counts protocol-invariant violations (0 unless
+	// FailoverConfig.Invariants or AuditPath enabled the monitor).
+	Violations int
 }
 
 // MeasureFailover streams continuously through a replicated echo service,
@@ -115,6 +124,17 @@ func MeasureFailover(cfg FailoverConfig) FailoverResult {
 		}
 	}
 
+	// The monitor attaches after the partition (it consumes the
+	// barrier-ordered replayed stream) and before DeployFT (it
+	// reconstructs membership from registration events). The label omits
+	// the worker count so audits diff byte-identical across Workers.
+	var mon *hydranet.Monitor
+	if cfg.Invariants || cfg.AuditPath != "" {
+		mon = net.StartMonitor(hydranet.MonitorConfig{
+			Scenario: fmt.Sprintf("failover threshold=%d backups=%d loss=%g", cfg.Threshold, cfg.Backups, cfg.Loss),
+		})
+	}
+
 	// Capture subsystems attach after the topology is final, before any
 	// traffic (registration included) hits the wire.
 	var pcapFile *os.File
@@ -136,6 +156,9 @@ func MeasureFailover(cfg FailoverConfig) FailoverResult {
 	if cfg.FlightPrefix != "" {
 		flight = net.StartFlightRecorder(0, 0)
 		flight.DumpOnFailover(probe, cfg.FlightPrefix)
+		if mon != nil {
+			flight.DumpOnViolation(mon, cfg.FlightPrefix+"-violation")
+		}
 	}
 	var spans *hydranet.SpanCollector
 	if cfg.SpansPath != "" || cfg.SeriesPath != "" {
@@ -262,6 +285,15 @@ func MeasureFailover(cfg FailoverConfig) FailoverResult {
 	if profiler != nil {
 		if err := profiler.WriteFile(cfg.ProfilePath); err != nil {
 			panic(err)
+		}
+	}
+	if mon != nil {
+		audit := net.FinishAudit(mon)
+		res.Violations = int(audit.TotalViolations())
+		if cfg.AuditPath != "" {
+			if err := audit.WriteJSON(cfg.AuditPath); err != nil {
+				panic(err)
+			}
 		}
 	}
 	return res

@@ -32,6 +32,12 @@ type ScaleConfig struct {
 	// (per-domain utilization, hand-off matrix, causal critical path; see
 	// hydranet.StartProfile) to this file.
 	ProfilePath string
+	// Invariants attaches the online protocol-invariant monitor; violation
+	// counts land in ScaleResult.Violations.
+	Invariants bool
+	// AuditPath, if set, writes the monitor's audit report as JSON here
+	// (implies Invariants).
+	AuditPath string
 }
 
 // ScaleResult reports one RunScale execution.
@@ -52,6 +58,10 @@ type ScaleResult struct {
 	// Wall is host wall-clock time for the run loop — the quantity the
 	// parallel core exists to shrink.
 	Wall time.Duration `json:"wall_ns"`
+	// Violations counts protocol-invariant violations (0 unless
+	// ScaleConfig.Invariants or AuditPath enabled the monitor; omitted from
+	// JSON when the monitor was off, keeping committed baselines stable).
+	Violations int `json:"violations,omitempty"`
 }
 
 // backboneLink joins neighboring pod redirectors: ten times the intra-pod
@@ -128,6 +138,16 @@ func RunScale(cfg ScaleConfig) ScaleResult {
 		}
 	}
 
+	// The monitor attaches after the partition and before the pods deploy:
+	// it must see every pod's registrations. The label omits the worker
+	// count so audits diff byte-identical across Workers.
+	var mon *hydranet.Monitor
+	if cfg.Invariants || cfg.AuditPath != "" {
+		mon = net.StartMonitor(hydranet.MonitorConfig{
+			Scenario: fmt.Sprintf("scale pods=%d", cfg.Pods),
+		})
+	}
+
 	for i := range pods {
 		p := &pods[i]
 		if _, err := net.DeployFT(p.svc, p.rd, p.replicas, hydranet.FTOptions{},
@@ -190,6 +210,15 @@ func RunScale(cfg ScaleConfig) ScaleResult {
 	}
 	for _, h := range net.Snapshot().Hosts {
 		res.Frames += h.Frames.Sent
+	}
+	if mon != nil {
+		audit := net.FinishAudit(mon)
+		res.Violations = int(audit.TotalViolations())
+		if cfg.AuditPath != "" {
+			if err := audit.WriteJSON(cfg.AuditPath); err != nil {
+				panic(err)
+			}
+		}
 	}
 	return res
 }

@@ -123,6 +123,12 @@ type Config struct {
 	// keeps the serial scheduler; any larger count produces identical
 	// results.
 	Workers int
+	// Invariants attaches the online protocol-invariant monitor; violation
+	// counts land in RunInfo.Violations.
+	Invariants bool
+	// AuditPath, if set, writes the monitor's audit report as JSON here
+	// (implies Invariants).
+	AuditPath string
 }
 
 // ServiceAddr is the replicated service's virtual address — a host that
@@ -139,15 +145,21 @@ type RunInfo struct {
 	Events uint64        // scheduler events fired
 	Frames uint64        // fabric frames sent, summed over all nodes
 	Wall   time.Duration // host wall-clock time for the run
+	// Violations counts protocol-invariant violations (0 unless
+	// Config.Invariants or AuditPath enabled the monitor).
+	Violations int
 }
 
 // RunMeasured is Run plus execution metrics.
 func RunMeasured(cfg Config) (ttcp.Result, RunInfo) {
 	start := time.Now()
-	result, net := run(cfg)
+	result, net, audit := run(cfg)
 	info := RunInfo{Wall: time.Since(start), Events: net.EventsFired()}
 	for _, h := range net.Snapshot().Hosts {
 		info.Frames += h.Frames.Sent
+	}
+	if audit != nil {
+		info.Violations = int(audit.TotalViolations())
 	}
 	return result, info
 }
@@ -155,11 +167,11 @@ func RunMeasured(cfg Config) (ttcp.Result, RunInfo) {
 // Run executes one ttcp transfer in the given configuration and returns
 // the client-side result.
 func Run(cfg Config) ttcp.Result {
-	result, _ := run(cfg)
+	result, _, _ := run(cfg)
 	return result
 }
 
-func run(cfg Config) (ttcp.Result, *hydranet.Net) {
+func run(cfg Config) (ttcp.Result, *hydranet.Net, *hydranet.AuditReport) {
 	if cfg.TotalBytes == 0 {
 		cfg.TotalBytes = 512 * 1024
 	}
@@ -225,6 +237,7 @@ func run(cfg Config) (ttcp.Result, *hydranet.Net) {
 	// Return traffic and the acknowledgment channel go host-to-host, as
 	// the paper notes ("there is no need for redirectors to handle
 	// messages directed from servers to clients").
+	var mon *hydranet.Monitor
 	mesh := func(hosts ...*hydranet.Host) {
 		for i := 0; i < len(hosts); i++ {
 			for j := i + 1; j < len(hosts); j++ {
@@ -238,6 +251,16 @@ func run(cfg Config) (ttcp.Result, *hydranet.Net) {
 			if err := net.SetWorkers(cfg.Workers); err != nil {
 				panic(fmt.Sprintf("testbed: partition: %v", err))
 			}
+		}
+		// The monitor attaches right after the partition and before the
+		// case deploys anything: it must see the registration events, and
+		// under the parallel core it consumes the barrier-ordered replayed
+		// stream. The label omits the worker count so audits diff
+		// byte-identical across Workers.
+		if cfg.Invariants || cfg.AuditPath != "" {
+			mon = net.StartMonitor(hydranet.MonitorConfig{
+				Scenario: fmt.Sprintf("figure4 %s buf=%d", cfg.Case, cfg.BufLen),
+			})
 		}
 	}
 
@@ -340,7 +363,17 @@ func run(cfg Config) (ttcp.Result, *hydranet.Net) {
 			panic(err)
 		}
 	}
-	return result, net
+	var audit *hydranet.AuditReport
+	if mon != nil {
+		r := net.FinishAudit(mon)
+		audit = &r
+		if cfg.AuditPath != "" {
+			if err := r.WriteJSON(cfg.AuditPath); err != nil {
+				panic(err)
+			}
+		}
+	}
+	return result, net, audit
 }
 
 // Figure4Sizes are the paper's x-axis write sizes.

@@ -1,0 +1,62 @@
+package hydranet
+
+import (
+	"hydranet/internal/invariant"
+	"hydranet/internal/netsim"
+)
+
+// Monitor is the online protocol-invariant checker (internal/invariant)
+// re-exported at the facade: a bus subscriber that continuously audits the
+// paper's safety properties — exactly-once delivery, cursor monotonicity,
+// the ft-TCP gate, chain-ack sanity, single-primary membership, frame
+// conservation — and records forensic bundles on violation.
+type Monitor = invariant.Monitor
+
+// Violation is one forensic record emitted by the monitor.
+type Violation = invariant.Violation
+
+// AuditReport is a run's deterministic audit verdict.
+type AuditReport = invariant.Report
+
+// MonitorConfig parameterizes StartMonitor.
+type MonitorConfig struct {
+	// Scenario labels the audit report. Keep it free of worker counts so
+	// reports from the same seed diff byte-identical across -workers.
+	Scenario string
+	// MaxViolations bounds recorded forensic records (0 = package default).
+	MaxViolations int
+}
+
+// StartMonitor attaches an invariant monitor to the network's event bus
+// and frame tap, and teaches it every host's address so membership events
+// (which carry addresses) join with stack events (which carry node names).
+//
+// Attach after the topology is final and after SetWorkers, but before
+// deploying services: the monitor reconstructs replica-set membership from
+// the registration events, so it must see them. Under the parallel core
+// the monitor consumes the barrier-ordered replayed stream, so its
+// verdicts are identical for every worker count. Detached (never called),
+// the monitor costs nothing: emit sites stay behind Bus.Enabled.
+func (n *Net) StartMonitor(cfg MonitorConfig) *Monitor {
+	m := invariant.New(invariant.Config{
+		Scenario:      cfg.Scenario,
+		Outstanding:   n.fab.PoolOutstanding,
+		MaxViolations: cfg.MaxViolations,
+	})
+	for _, h := range n.hosts {
+		m.MapAddr(h.addr.String(), h.name)
+	}
+	m.Attach(n.bus)
+	n.addFrameTap(func(from, to *netsim.Node, data []byte) {
+		m.NoteFrame(len(data))
+	})
+	return m
+}
+
+// FinishAudit runs the monitor's end-of-run conservation check and returns
+// the audit report. Call after the run's final RunFor/Settle: the frame-
+// conservation rule is only decided when the simulation is quiescent
+// (frames still in flight are not leaks).
+func (n *Net) FinishAudit(m *Monitor) AuditReport {
+	return m.Finish(n.eventsPending() == 0)
+}

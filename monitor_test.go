@@ -1,0 +1,332 @@
+package hydranet
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"hydranet/internal/app"
+	"hydranet/internal/invariant"
+	"hydranet/internal/obs"
+)
+
+// TestMonitorZeroCostWhenDetached pins the monitor's zero-cost contract:
+// with no monitor attached the bus publishes nothing (emit sites stay
+// behind Bus.Enabled), and with one attached its per-event hot path
+// allocates nothing in steady state — tracking slots allocate on first
+// contact with a connection, never per event. CI runs this by name; do
+// not rename.
+func TestMonitorZeroCostWhenDetached(t *testing.T) {
+	measure := func(attach bool) float64 {
+		bus := obs.NewBus(func() time.Duration { return 0 })
+		if attach {
+			m := invariant.New(invariant.Config{})
+			m.Attach(bus)
+		}
+		var cursor, ack uint64 = 1000, 1000
+		cycle := func() {
+			// A violation-free deposit/ack/chain/deliver round on one
+			// connection: every rule on the hot path evaluates.
+			cursor += 512
+			ack += 512
+			if bus.Enabled(obs.KindDeposit) {
+				bus.Publish(obs.Event{Kind: obs.KindDeposit, Node: "s0",
+					Service: "10.9.0.9:80", Conn: "10.1.0.1:4000", Seq: cursor, Size: 512})
+			}
+			if bus.Enabled(obs.KindAckProgress) {
+				bus.Publish(obs.Event{Kind: obs.KindAckProgress, Node: "client",
+					Service: "10.1.0.1:4000", Conn: "10.9.0.9:80", Seq: ack})
+			}
+			if bus.Enabled(obs.KindChainSend) {
+				bus.Publish(obs.Event{Kind: obs.KindChainSend, Node: "s0",
+					Service: "10.9.0.9:80", Conn: "10.1.0.1:4000", Seq: cursor, Ack: ack})
+			}
+			if bus.Enabled(obs.KindClientDeliver) {
+				bus.Publish(obs.Event{Kind: obs.KindClientDeliver, Node: "s0", Size: 256})
+			}
+		}
+		for i := 0; i < 256; i++ {
+			cycle()
+		}
+		return testing.AllocsPerRun(1000, cycle)
+	}
+	if a := measure(false); a != 0 {
+		t.Errorf("detached bus allocates %.1f per event round, want 0", a)
+	}
+	if a := measure(true); a != 0 {
+		t.Errorf("attached monitor steady state allocates %.1f per event round, want 0", a)
+	}
+}
+
+// runMonitoredFailover runs the full failover scenario — deploy, stream,
+// crash the primary, recover — with a monitor attached, at the given
+// worker count, and returns the audit report.
+func runMonitoredFailover(t *testing.T, workers int) AuditReport {
+	t.Helper()
+	net, client, rd, replicas := parallelTopology(t, 11)
+	if workers > 1 {
+		if err := net.SetWorkers(workers); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Attach after SetWorkers (the monitor consumes the barrier-ordered
+	// replayed stream) and before DeployFT (it must see registrations).
+	mon := net.StartMonitor(MonitorConfig{Scenario: "failover"})
+
+	svc, err := net.DeployFT(testSvc, rd, replicas,
+		FTOptions{Detector: DetectorParams{RetransmitThreshold: 3}}, echoAccept())
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.Settle()
+
+	payload := make([]byte, 1024*1024)
+	for i := range payload {
+		payload[i] = byte(i * 31)
+	}
+	received := streamClientOn(t, client, payload)
+
+	net.RunFor(300 * time.Millisecond)
+	svc.CrashPrimary()
+	for *received < len(payload) && net.Now() < 2*time.Minute {
+		net.RunFor(time.Second)
+	}
+	if *received != len(payload) {
+		t.Fatalf("workers=%d: client received %d of %d bytes", workers, *received, len(payload))
+	}
+	return net.FinishAudit(mon)
+}
+
+// streamClientOn is streamClient publishing on the client host's bus view,
+// so the observation stays deterministic under any worker count.
+func streamClientOn(t *testing.T, client *Host, payload []byte) *int {
+	t.Helper()
+	conn, err := client.Dial(testSvc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	received := new(int)
+	bus := client.Bus()
+	buf := make([]byte, 8192)
+	conn.OnReadable(func() {
+		for {
+			n := conn.Read(buf)
+			if n == 0 {
+				break
+			}
+			*received += n
+			if bus.Enabled(KindClientDeliver) {
+				bus.Publish(Event{Kind: KindClientDeliver, Node: "client", Size: n})
+			}
+		}
+	})
+	app.Source(conn, payload, false)
+	return received
+}
+
+// TestMonitorCleanOnFailover is the paper's semantic claim as a test: a
+// crash-failover run delivers exactly-once under the monitor's full rule
+// set, and every stream rule actually evaluated (a monitor that checks
+// nothing also violates nothing).
+func TestMonitorCleanOnFailover(t *testing.T) {
+	r := runMonitoredFailover(t, 1)
+	if !r.Clean {
+		t.Fatalf("failover scenario violated invariants:\n%v", r.Violations)
+	}
+	if !r.QuiesceChecked || r.OutstandingFrames != 0 {
+		t.Fatalf("frame conservation undecided or leaking: checked=%v outstanding=%d",
+			r.QuiesceChecked, r.OutstandingFrames)
+	}
+	exercised := map[string]bool{}
+	for _, rr := range r.Rules {
+		exercised[rr.Rule] = rr.Checks > 0
+	}
+	for _, rule := range []string{
+		invariant.RuleDeposit, invariant.RuleAck, invariant.RuleGate,
+		invariant.RuleChain, invariant.RuleMembership, invariant.RuleDelivery,
+		invariant.RuleConservation,
+	} {
+		if !exercised[rule] {
+			t.Errorf("rule %s never evaluated in a full failover run", rule)
+		}
+	}
+	if r.Frames == 0 || r.Events == 0 {
+		t.Fatalf("monitor observed nothing: %d events, %d frames", r.Events, r.Frames)
+	}
+}
+
+// TestMonitorWorkerParity pins the determinism contract on the verdict
+// surface: the audit report — counts, rule census, violation ordering —
+// is byte-identical for every worker count, because the monitor consumes
+// the barrier-ordered replayed stream. CI runs this by name.
+func TestMonitorWorkerParity(t *testing.T) {
+	var reports [][]byte
+	for _, workers := range []int{1, 2, 4} {
+		r := runMonitoredFailover(t, workers)
+		data, err := json.MarshalIndent(r, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		reports = append(reports, data)
+	}
+	for i := 1; i < len(reports); i++ {
+		if string(reports[i]) != string(reports[0]) {
+			t.Errorf("audit report differs between workers=1 and workers=%d:\n--- w1\n%s\n--- other\n%s",
+				[]int{1, 2, 4}[i], reports[0], reports[i])
+		}
+	}
+}
+
+// TestMonitorSeededViolations is the oracle's own oracle: it forges a
+// duplicate deposit and a premature client ACK out of captured real
+// events, and requires the monitor to report both. The forge counters
+// guard the guard — if the capture hooks never saw a real event to forge,
+// the test fails rather than passing on silence.
+func TestMonitorSeededViolations(t *testing.T) {
+	net, client, rd, replicas := ftTopology(t, 13, 2)
+	mon := net.StartMonitor(MonitorConfig{Scenario: "seeded"})
+
+	// Capture one real replica deposit and one real client-side ACK to
+	// forge from.
+	var lastDeposit, lastClientAck Event
+	var deposits, clientAcks int
+	net.Bus().Subscribe(func(e Event) {
+		switch e.Kind {
+		case KindDeposit:
+			if e.Node != "client" && e.Size > 0 {
+				lastDeposit = e
+				deposits++
+			}
+		case KindAckProgress:
+			if e.Node == "client" {
+				lastClientAck = e
+				clientAcks++
+			}
+		}
+	}, KindDeposit, KindAckProgress)
+
+	if _, err := net.DeployFT(testSvc, rd, replicas,
+		FTOptions{Detector: DetectorParams{RetransmitThreshold: 3}}, echoAccept()); err != nil {
+		t.Fatal(err)
+	}
+	net.Settle()
+	payload := make([]byte, 256*1024)
+	received := streamClientOn(t, client, payload)
+	for *received < len(payload) && net.Now() < time.Minute {
+		net.RunFor(time.Second)
+	}
+	if *received != len(payload) {
+		t.Fatalf("client received %d of %d bytes", *received, len(payload))
+	}
+
+	// The faults must actually have fired material to forge.
+	if deposits == 0 || clientAcks == 0 {
+		t.Fatalf("no real events captured to forge (deposits=%d clientAcks=%d) — the self-test is vacuous", deposits, clientAcks)
+	}
+
+	// Fault 1: replay the last replica deposit verbatim — the cursor did
+	// not advance by the bytes deposited, i.e. duplicate delivery.
+	net.Bus().Publish(lastDeposit)
+	// Fault 2: a client ACK far beyond the replica deposit minimum.
+	forged := lastClientAck
+	forged.Seq += 1 << 20
+	net.Bus().Publish(forged)
+
+	r := net.FinishAudit(mon)
+	if r.Clean {
+		t.Fatal("monitor passed a run with seeded faults")
+	}
+	byRule := map[string]uint64{}
+	for _, rr := range r.Rules {
+		byRule[rr.Rule] = rr.Violations
+	}
+	if byRule[invariant.RuleDeposit] == 0 {
+		t.Errorf("forged duplicate deposit not reported: %+v", r.Rules)
+	}
+	if byRule[invariant.RuleGate] == 0 {
+		t.Errorf("forged premature client ACK not reported: %+v", r.Rules)
+	}
+	for _, v := range r.Violations {
+		if v.Time == 0 {
+			t.Errorf("violation missing virtual-clock instant: %+v", v)
+		}
+	}
+}
+
+// TestMonitorDumpOnViolation wires the flight recorder to the monitor's
+// OnViolation hook and requires the forensic bundle — pcap window plus
+// event log — on disk after a seeded fault.
+func TestMonitorDumpOnViolation(t *testing.T) {
+	net, client, rd, replicas := ftTopology(t, 13, 2)
+	mon := net.StartMonitor(MonitorConfig{Scenario: "seeded-dump"})
+	flight := net.StartFlightRecorder(256, 256)
+	prefix := filepath.Join(t.TempDir(), "violation")
+	flight.DumpOnViolation(mon, prefix)
+
+	var lastDeposit Event
+	net.Bus().Subscribe(func(e Event) {
+		if e.Node != "client" && e.Size > 0 {
+			lastDeposit = e
+		}
+	}, KindDeposit)
+
+	if _, err := net.DeployFT(testSvc, rd, replicas, FTOptions{}, echoAccept()); err != nil {
+		t.Fatal(err)
+	}
+	net.Settle()
+	payload := make([]byte, 64*1024)
+	received := streamClientOn(t, client, payload)
+	for *received < len(payload) && net.Now() < time.Minute {
+		net.RunFor(time.Second)
+	}
+	if lastDeposit.Kind != KindDeposit {
+		t.Fatal("no deposit captured to forge")
+	}
+	net.Bus().Publish(lastDeposit) // duplicate-delivery fault
+
+	if mon.Clean() {
+		t.Fatal("seeded fault not detected")
+	}
+	for _, suffix := range []string{".pcap", ".json"} {
+		if _, err := os.Stat(prefix + suffix); err != nil {
+			t.Errorf("violation bundle missing %s: %v", suffix, err)
+		}
+	}
+	if flight.Dumps() != 1 {
+		t.Errorf("flight recorder dumped %d times, want exactly 1 (first violation only)", flight.Dumps())
+	}
+}
+
+// TestMonitorCleanOnGrayFailure runs the gray-failure scenario — a slow,
+// not crashed, backup strangling the ack chain — under the monitor. The
+// degraded replica forces retransmissions and suspicions; none of them may
+// read as a safety violation.
+func TestMonitorCleanOnGrayFailure(t *testing.T) {
+	net, client, rd, replicas := ftTopology(t, 11, 3)
+	mon := net.StartMonitor(MonitorConfig{Scenario: "gray-failure"})
+	if _, err := net.DeployFT(testSvc, rd, replicas,
+		FTOptions{Detector: DetectorParams{RetransmitThreshold: 3}}, echoAccept()); err != nil {
+		t.Fatal(err)
+	}
+	net.Settle()
+	payload := make([]byte, 1<<20)
+	received := streamClientOn(t, client, payload)
+	net.RunFor(400 * time.Millisecond)
+
+	slow := replicas[len(replicas)-1]
+	slow.SetProcessing(250*time.Millisecond, 0)
+	net.RunFor(60 * time.Second)
+	for *received < len(payload) && net.Now() < 4*time.Minute {
+		net.RunFor(time.Second)
+	}
+
+	r := net.FinishAudit(mon)
+	if !r.Clean {
+		t.Fatalf("gray-failure scenario violated invariants:\n%v", r.Violations)
+	}
+	if *received != len(payload) {
+		t.Fatalf("client received %d of %d bytes", *received, len(payload))
+	}
+}
