@@ -1,12 +1,13 @@
 // Command hydralint runs the hydranet static-invariant analyzers
 // (framepool, determinism — including the domain-partition fence —
-// zeroalloc) over Go packages. It works two ways:
+// zeroalloc, lockorder, exhaustive) over Go packages. It works two ways:
 //
 // Standalone, over package patterns:
 //
 //	go run ./cmd/hydralint ./...
 //	go run ./cmd/hydralint -json ./internal/netsim
 //	go run ./cmd/hydralint -determinism=false ./...
+//	go run ./cmd/hydralint -time ./...
 //
 // As a vet tool, which reuses the build cache's export data per package
 // unit exactly the way the real go/analysis unitchecker does:
@@ -30,45 +31,55 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"hydranet/internal/lint"
 	"hydranet/internal/lint/determinism"
+	"hydranet/internal/lint/exhaustive"
 	"hydranet/internal/lint/framepool"
 	"hydranet/internal/lint/load"
+	"hydranet/internal/lint/lockorder"
 	"hydranet/internal/lint/zeroalloc"
 )
 
 // version participates in go vet's content-addressed caching: bump it when
 // analyzer behavior changes so stale cached verdicts are not replayed.
-const version = "hydralint-2"
+const version = "hydralint-3"
+
+// schemaVersion identifies the -json output shape; consumers pin it so a
+// field rename cannot silently break CI parsers.
+const schemaVersion = 1
 
 var analyzers = []*lint.Analyzer{
 	framepool.Analyzer,
 	determinism.Analyzer,
 	zeroalloc.Analyzer,
+	lockorder.Analyzer,
+	exhaustive.Analyzer,
 }
 
 func main() {
-	os.Exit(run(os.Args[1:]))
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run(args []string) int {
+func run(args []string, stdout, stderr io.Writer) int {
 	// The go vet driver protocol probes the tool before using it:
 	// `-V=full` must print a version fingerprint, `-flags` the flags the
 	// tool accepts (JSON). Handle both before normal flag parsing.
 	for _, a := range args {
 		if a == "-V=full" || a == "--V=full" {
-			fmt.Printf("hydralint version %s\n", version)
+			fmt.Fprintf(stdout, "hydralint version %s\n", version)
 			return 0
 		}
 	}
 	if len(args) == 1 && (args[0] == "-flags" || args[0] == "--flags") {
-		fmt.Println("[]")
+		fmt.Fprintln(stdout, "[]")
 		return 0
 	}
 
 	fs := flag.NewFlagSet("hydralint", flag.ExitOnError)
 	jsonOut := fs.Bool("json", false, "emit diagnostics as JSON")
+	timing := fs.Bool("time", false, "report per-analyzer wall time on stderr")
 	enabled := map[string]*bool{}
 	for _, a := range analyzers {
 		enabled[a.Name] = fs.Bool(a.Name, true, "run the "+a.Name+" analyzer: "+a.Doc)
@@ -87,7 +98,7 @@ func run(args []string) int {
 
 	active := activeAnalyzers(enabled)
 	if len(active) == 0 {
-		fmt.Fprintln(os.Stderr, "hydralint: every analyzer is disabled")
+		fmt.Fprintln(stderr, "hydralint: every analyzer is disabled")
 		return 1
 	}
 
@@ -96,7 +107,7 @@ func run(args []string) int {
 		return unitcheck(fs.Arg(0), active)
 	}
 
-	return standalone(fs.Args(), active, *jsonOut)
+	return standalone(fs.Args(), active, *jsonOut, *timing, stdout, stderr)
 }
 
 func activeAnalyzers(enabled map[string]*bool) []*lint.Analyzer {
@@ -111,30 +122,39 @@ func activeAnalyzers(enabled map[string]*bool) []*lint.Analyzer {
 
 // --- standalone mode ---
 
-func standalone(patterns []string, active []*lint.Analyzer, jsonOut bool) int {
+func standalone(patterns []string, active []*lint.Analyzer, jsonOut, timing bool, stdout, stderr io.Writer) int {
 	cwd, err := os.Getwd()
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "hydralint:", err)
+		fmt.Fprintln(stderr, "hydralint:", err)
 		return 1
 	}
 	pkgs, err := load.Packages(cwd, patterns...)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "hydralint:", err)
+		fmt.Fprintln(stderr, "hydralint:", err)
 		return 1
 	}
 
 	var diags []lint.Diagnostic
+	spent := map[string]time.Duration{}
 	for _, pkg := range pkgs {
 		for _, a := range active {
 			pass := lint.NewPass(a, pkg.Fset, pkg.Files, pkg.Types, pkg.Info, &diags)
-			if err := a.Run(pass); err != nil {
-				fmt.Fprintf(os.Stderr, "hydralint: %s on %s: %v\n", a.Name, pkg.PkgPath, err)
+			start := time.Now()
+			err := a.Run(pass)
+			spent[a.Name] += time.Since(start)
+			if err != nil {
+				fmt.Fprintf(stderr, "hydralint: %s on %s: %v\n", a.Name, pkg.PkgPath, err)
 				return 1
 			}
 		}
 	}
+	if timing {
+		for _, a := range active {
+			fmt.Fprintf(stderr, "hydralint: %-12s %s\n", a.Name, spent[a.Name].Round(time.Microsecond))
+		}
+	}
 	lint.SortDiagnostics(diags)
-	emit(os.Stdout, diags, cwd, jsonOut)
+	emit(stdout, diags, cwd, jsonOut)
 	if len(diags) > 0 {
 		return 2
 	}
@@ -152,9 +172,13 @@ func emit(w io.Writer, diags []lint.Diagnostic, base string, jsonOut bool) {
 			Analyzer string `json:"analyzer"`
 			Message  string `json:"message"`
 		}
-		out := make([]jd, 0, len(diags))
+		type report struct {
+			SchemaVersion int  `json:"schema_version"`
+			Diagnostics   []jd `json:"diagnostics"`
+		}
+		out := report{SchemaVersion: schemaVersion, Diagnostics: make([]jd, 0, len(diags))}
 		for _, d := range diags {
-			out = append(out, jd{relativize(base, d.Pos.Filename), d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message})
+			out.Diagnostics = append(out.Diagnostics, jd{relativize(base, d.Pos.Filename), d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message})
 		}
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "\t")

@@ -1,0 +1,100 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// The committed seeded-violation testdata doubles as the exit-code
+// fixture: a package that must produce findings (exit 2), a shipped
+// package that must be clean (exit 0), and a nonexistent pattern that
+// must fail the load (exit 1).
+const (
+	seededPkg = "../../internal/lint/determinism/testdata/src/internal/netsim"
+	cleanPkg  = "../../internal/frame"
+)
+
+func TestExitCodeFindings(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if got := run([]string{seededPkg}, &stdout, &stderr); got != 2 {
+		t.Fatalf("seeded violations: exit %d, want 2\nstdout: %s\nstderr: %s", got, stdout.String(), stderr.String())
+	}
+	if stdout.Len() == 0 {
+		t.Fatal("exit 2 with no diagnostics printed")
+	}
+}
+
+func TestExitCodeClean(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if got := run([]string{cleanPkg}, &stdout, &stderr); got != 0 {
+		t.Fatalf("clean package: exit %d, want 0\nstdout: %s\nstderr: %s", got, stdout.String(), stderr.String())
+	}
+	if stdout.Len() != 0 {
+		t.Fatalf("clean package printed diagnostics:\n%s", stdout.String())
+	}
+}
+
+func TestExitCodeLoadFailure(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if got := run([]string{"./no-such-package"}, &stdout, &stderr); got != 1 {
+		t.Fatalf("broken target: exit %d, want 1\nstderr: %s", got, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "hydralint:") {
+		t.Fatalf("load failure did not explain itself on stderr: %q", stderr.String())
+	}
+}
+
+// TestJSONShape pins the -json schema: schema_version plus a diagnostics
+// array whose entries carry file/line/column/analyzer/message. CI parsers
+// key on these exact names.
+func TestJSONShape(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if got := run([]string{"-json", seededPkg}, &stdout, &stderr); got != 2 {
+		t.Fatalf("seeded violations: exit %d, want 2\nstderr: %s", got, stderr.String())
+	}
+
+	var report struct {
+		SchemaVersion int `json:"schema_version"`
+		Diagnostics   []map[string]any
+	}
+	if err := json.Unmarshal(stdout.Bytes(), &report); err != nil {
+		t.Fatalf("-json output does not parse: %v\n%s", err, stdout.String())
+	}
+	if report.SchemaVersion != 1 {
+		t.Fatalf("schema_version = %d, want 1", report.SchemaVersion)
+	}
+	if len(report.Diagnostics) == 0 {
+		t.Fatal("-json on seeded violations produced an empty diagnostics array")
+	}
+	for _, key := range []string{"file", "line", "column", "analyzer", "message"} {
+		if _, ok := report.Diagnostics[0][key]; !ok {
+			t.Errorf("diagnostic entry missing %q field: %v", key, report.Diagnostics[0])
+		}
+	}
+	d := report.Diagnostics[0]
+	if d["file"] == "" || d["analyzer"] == "" || d["message"] == "" {
+		t.Fatalf("diagnostic entry has empty identity fields: %v", d)
+	}
+	if line, ok := d["line"].(float64); !ok || line < 1 {
+		t.Fatalf("diagnostic line = %v, want a positive number", d["line"])
+	}
+}
+
+// TestTimingFlag keeps -time wired: one wall-time line per active
+// analyzer on stderr, none on stdout.
+func TestTimingFlag(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if got := run([]string{"-time", cleanPkg}, &stdout, &stderr); got != 0 {
+		t.Fatalf("clean package with -time: exit %d, want 0\nstderr: %s", got, stderr.String())
+	}
+	for _, a := range analyzers {
+		if !strings.Contains(stderr.String(), a.Name) {
+			t.Errorf("-time output missing analyzer %s:\n%s", a.Name, stderr.String())
+		}
+	}
+	if stdout.Len() != 0 {
+		t.Fatalf("-time leaked onto stdout:\n%s", stdout.String())
+	}
+}

@@ -310,6 +310,10 @@ func (m *Monitor) observeHot(e obs.Event) {
 		m.noteChain(e, false)
 	case obs.KindClientDeliver:
 		m.noteDeliver(e)
+
+	default:
+		// The hot path owns only the cursor rules; membership kinds take
+		// the slow path and the rest carry no monitored state.
 	}
 }
 
@@ -512,6 +516,10 @@ func (m *Monitor) observeSlow(e obs.Event) {
 		m.noteDemotion(e)
 	case obs.KindRecommission:
 		m.noteRecommission(e)
+
+	default:
+		// Membership bookkeeping only; data-path kinds were already
+		// dispatched by observeHot.
 	}
 }
 

@@ -37,10 +37,16 @@
 //     scheduler, pool, and bus through its domain (nd.dom.sched, ...): a
 //     node event that schedules on the Network's scheduler or allocates
 //     from the shared pool races with other domains' workers.
-//   - An inbox's entries may be read or written only after locking that
-//     inbox's mu earlier in the same function (matched on the receiver
-//     expression, so an alias like `in := &d.inbox; in.mu.Lock()` pairs
-//     with `in.entries`). The check is linear and intraprocedural.
+//   - An inbox's entries may be read or written only while that inbox's
+//     mu is held. The check is flow-sensitive: a must-analysis over the
+//     function's control-flow graph (internal/lint/ir) tracks the set of
+//     inbox mutexes held on every path, so a lock taken on only one
+//     branch, or released before the access, is caught — and a lock held
+//     through a defer-unlock or on both arms of a branch is correctly
+//     credited. Locks and accesses pair on the receiver's rendered source
+//     text, so an alias like `in := &d.inbox; in.mu.Lock()` pairs with
+//     `in.entries`. Function literals are analyzed as their own
+//     functions: lock state never leaks across a closure boundary.
 //
 // A site that is genuinely safe — coordinator-context code running while
 // every worker is quiescent — can be exempted with
@@ -56,6 +62,7 @@ import (
 	"go/types"
 
 	"hydranet/internal/lint"
+	"hydranet/internal/lint/ir"
 )
 
 // Analyzer is the determinism checker.
@@ -120,9 +127,18 @@ func run(pass *lint.Pass) error {
 		for _, d := range idx.Malformed() {
 			pass.Reportf(d.Pos, "%s", d.Malformed)
 		}
+		// used tracks the annotations that suppressed (or stood ready to
+		// suppress) a diagnostic; whatever remains unused is stale — the
+		// construct it excused was removed or rewritten — and reported
+		// below so annotations cannot outlive their reasons.
+		used := map[*lint.Directive]bool{}
 		if fenced {
 			domainSafe := func(pos token.Pos) bool {
-				return idx.Covering(pass.Fset, pos, lint.DirDomainSafe) != nil
+				if d := idx.Covering(pass.Fset, pos, lint.DirDomainSafe); d != nil {
+					used[d] = true
+					return true
+				}
+				return false
 			}
 			checkDomainFence(pass, file, domainSafe)
 		}
@@ -130,7 +146,11 @@ func run(pass *lint.Pass) error {
 			continue
 		}
 		allowed := func(pos token.Pos) bool {
-			return idx.Covering(pass.Fset, pos, lint.DirNondeterministic) != nil
+			if d := idx.Covering(pass.Fset, pos, lint.DirNondeterministic); d != nil {
+				used[d] = true
+				return true
+			}
+			return false
 		}
 		ast.Inspect(file, func(n ast.Node) bool {
 			switch n := n.(type) {
@@ -153,6 +173,19 @@ func run(pass *lint.Pass) error {
 			}
 			return true
 		})
+		for _, d := range idx.WellFormed() {
+			if used[d] {
+				continue
+			}
+			switch d.Name {
+			case lint.DirNondeterministic:
+				pass.Reportf(d.Pos, "stale //hydralint:nondeterministic annotation: the line it governs has no nondeterministic construct to excuse; delete it")
+			case lint.DirDomainSafe:
+				if fenced {
+					pass.Reportf(d.Pos, "stale //hydralint:domainsafe annotation: the line it governs has no cross-domain access to excuse; delete it")
+				}
+			}
+		}
 	}
 	return nil
 }
@@ -215,59 +248,152 @@ func checkDomainFence(pass *lint.Pass, file *ast.File, allowed func(token.Pos) b
 			recvNetwork = isNetwork(pass.TypesInfo.TypeOf(fn.Recv.List[0].Type))
 		}
 
-		// First pass: record every `<expr>.mu.Lock()` on an inbox-shaped
-		// receiver, keyed by the receiver's rendered source text so aliases
-		// pair lock and access through the same name.
-		locks := map[string][]token.Pos{}
-		ast.Inspect(fn.Body, func(n ast.Node) bool {
-			call, ok := n.(*ast.CallExpr)
-			if !ok {
-				return true
-			}
-			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
-			if !ok || sel.Sel.Name != "Lock" {
-				return true
-			}
-			mu, ok := ast.Unparen(sel.X).(*ast.SelectorExpr)
-			if !ok || mu.Sel.Name != "mu" || !isInboxShape(pass.TypesInfo.TypeOf(mu.X)) {
-				return true
-			}
-			if s := exprString(mu.X); s != "" {
-				locks[s] = append(locks[s], call.Pos())
-			}
-			return true
-		})
-
 		ast.Inspect(fn.Body, func(n ast.Node) bool {
 			sel, ok := n.(*ast.SelectorExpr)
 			if !ok {
 				return true
 			}
-			switch {
-			case fencedNetworkFields[sel.Sel.Name] && isNetwork(pass.TypesInfo.TypeOf(sel.X)):
-				if recvNetwork || allowed(sel.Pos()) {
-					return true
-				}
-				pass.Reportf(sel.Pos(), "access to the Network's shared %s outside a Network method: worker-context code must use its domain's copy (nd.dom.%s), and cross-domain effects must go through the hand-off inbox; annotate //hydralint:domainsafe <reason> if this runs with every worker quiescent", sel.Sel.Name, sel.Sel.Name)
-			case sel.Sel.Name == "entries" && isInboxShape(pass.TypesInfo.TypeOf(sel.X)):
-				if allowed(sel.Pos()) {
-					return true
-				}
-				base := exprString(sel.X)
-				held := false
-				for _, p := range locks[base] {
-					if p < sel.Pos() {
-						held = true
-						break
-					}
-				}
-				if !held {
-					pass.Reportf(sel.Pos(), "inbox entries accessed without %s.mu.Lock earlier in this function: cross-domain hand-offs must use the locked inbox protocol; annotate //hydralint:domainsafe <reason> if the lock is provably unnecessary here", base)
+			if fencedNetworkFields[sel.Sel.Name] && isNetwork(pass.TypesInfo.TypeOf(sel.X)) {
+				if !recvNetwork && !allowed(sel.Pos()) {
+					pass.Reportf(sel.Pos(), "access to the Network's shared %s outside a Network method: worker-context code must use its domain's copy (nd.dom.%s), and cross-domain effects must go through the hand-off inbox; annotate //hydralint:domainsafe <reason> if this runs with every worker quiescent", sel.Sel.Name, sel.Sel.Name)
 				}
 			}
 			return true
 		})
+
+		checkInboxFence(pass, fn.Body, allowed)
 	}
+}
+
+// heldInboxes is the must-analysis fact for the inbox fence: the rendered
+// receiver texts whose inbox mutex is held on EVERY path reaching this
+// program point. Join is set intersection.
+type heldInboxes map[string]bool
+
+// checkInboxFence runs the flow-sensitive locked-region analysis over one
+// function body: inbox entries may be touched only at points where the
+// owning mutex is must-held. Deferred unlocks run at function exit, after
+// every access, so DeferStmt elements do not release; function literals
+// are independent functions and are fenced recursively with a fresh
+// (empty) lock state.
+func checkInboxFence(pass *lint.Pass, body *ast.BlockStmt, allowed func(token.Pos) bool) {
+	cfg := ir.Build(body)
+
+	transfer := func(elem ast.Node, f heldInboxes) heldInboxes {
+		if _, isDefer := elem.(*ast.DeferStmt); isDefer {
+			return f // a deferred Unlock releases at Exit, not here
+		}
+		ir.Inspect(elem, func(n ast.Node) bool {
+			if _, isLit := n.(*ast.FuncLit); isLit {
+				return false // closures are their own functions
+			}
+			base, locks, ok := inboxMuCall(pass, n)
+			if !ok {
+				return true
+			}
+			if locks {
+				f[base] = true
+			} else {
+				delete(f, base)
+			}
+			return true
+		})
+		return f
+	}
+
+	p := ir.Problem[heldInboxes]{
+		Lattice: ir.Lattice[heldInboxes]{
+			Join: func(a, b heldInboxes) heldInboxes {
+				out := heldInboxes{}
+				for k := range a {
+					if b[k] {
+						out[k] = true
+					}
+				}
+				return out
+			},
+			Equal: func(a, b heldInboxes) bool {
+				if len(a) != len(b) {
+					return false
+				}
+				for k := range a {
+					if !b[k] {
+						return false
+					}
+				}
+				return true
+			},
+			Clone: func(f heldInboxes) heldInboxes {
+				out := make(heldInboxes, len(f))
+				for k := range f {
+					out[k] = true
+				}
+				return out
+			},
+		},
+		Boundary: heldInboxes{},
+		Transfer: transfer,
+	}
+	in, reachable := ir.Forward(cfg, p)
+
+	for _, b := range cfg.Blocks {
+		if !reachable[b] {
+			continue
+		}
+		f := p.Lattice.Clone(in[b])
+		for _, e := range b.Elems {
+			ir.Inspect(e, func(n ast.Node) bool {
+				if _, isLit := n.(*ast.FuncLit); isLit {
+					return false
+				}
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok || sel.Sel.Name != "entries" || !isInboxShape(pass.TypesInfo.TypeOf(sel.X)) {
+					return true
+				}
+				if allowed(sel.Pos()) {
+					return true
+				}
+				base := exprString(sel.X)
+				if !f[base] {
+					pass.Reportf(sel.Pos(), "inbox entries accessed without %s.mu.Lock held on every path to this point: cross-domain hand-offs must use the locked inbox protocol; annotate //hydralint:domainsafe <reason> if the lock is provably unnecessary here", base)
+				}
+				return true
+			})
+			f = transfer(e, f)
+		}
+	}
+
+	// Fence each function literal independently: lock state does not flow
+	// across a closure boundary in either direction.
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			checkInboxFence(pass, lit.Body, allowed)
+			return false // nested literals handled by the recursive call
+		}
+		return true
+	})
+}
+
+// inboxMuCall recognizes `<expr>.mu.Lock()` / `<expr>.mu.Unlock()` on an
+// inbox-shaped receiver and returns the rendered receiver text.
+func inboxMuCall(pass *lint.Pass, n ast.Node) (base string, locks, ok bool) {
+	call, isCall := n.(*ast.CallExpr)
+	if !isCall {
+		return "", false, false
+	}
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel || (sel.Sel.Name != "Lock" && sel.Sel.Name != "Unlock") {
+		return "", false, false
+	}
+	mu, isSel := ast.Unparen(sel.X).(*ast.SelectorExpr)
+	if !isSel || mu.Sel.Name != "mu" || !isInboxShape(pass.TypesInfo.TypeOf(mu.X)) {
+		return "", false, false
+	}
+	base = exprString(mu.X)
+	if base == "" {
+		return "", false, false
+	}
+	return base, sel.Sel.Name == "Lock", true
 }
 
 // isNetwork reports whether t is netsim's Network (or a pointer to it) —

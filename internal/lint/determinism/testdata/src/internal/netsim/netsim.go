@@ -119,8 +119,8 @@ func (d *domainRT) aliasedLock() int {
 }
 
 // mismatchedAlias locks through one name but reads through another: the
-// linear check cannot pair them, so the read is flagged — rewrite to use
-// one name (or annotate).
+// analysis pairs on rendered receiver text, not points-to facts, so the
+// read is flagged — rewrite to use one name (or annotate).
 func (d *domainRT) mismatchedAlias() int {
 	in := &d.inbox
 	d.inbox.mu.Lock()
@@ -132,4 +132,92 @@ func (d *domainRT) mismatchedAlias() int {
 // annotatedInbox documents why the lock is unnecessary. Clean.
 func (d *domainRT) annotatedInbox() int {
 	return len(d.inbox.entries) //hydralint:domainsafe coordinator context, every worker quiescent
+}
+
+// branchLock takes the lock on only one branch: at the access the mutex
+// is not held on every path, so the flow-sensitive fence flags it.
+func (d *domainRT) branchLock(c bool) int {
+	if c {
+		d.inbox.mu.Lock()
+	}
+	n := len(d.inbox.entries) // want "inbox entries accessed without d.inbox.mu.Lock"
+	if c {
+		d.inbox.mu.Unlock()
+	}
+	return n
+}
+
+// releasedTooEarly unlocks before the read: a purely lexical "Lock
+// earlier in this function" check would accept this, the locked-region
+// analysis does not.
+func (d *domainRT) releasedTooEarly() int {
+	d.inbox.mu.Lock()
+	d.inbox.mu.Unlock()
+	return len(d.inbox.entries) // want "inbox entries accessed without d.inbox.mu.Lock"
+}
+
+// deferUnlock releases at return, after every access. Clean.
+func (d *domainRT) deferUnlock() int {
+	d.inbox.mu.Lock()
+	defer d.inbox.mu.Unlock()
+	return len(d.inbox.entries)
+}
+
+// bothBranchesLock acquires on every path into the merge, so the access
+// is must-protected. Clean.
+func (d *domainRT) bothBranchesLock(c bool) int {
+	if c {
+		d.inbox.mu.Lock()
+	} else {
+		d.inbox.mu.Lock()
+	}
+	n := len(d.inbox.entries)
+	d.inbox.mu.Unlock()
+	return n
+}
+
+// lockPerIteration re-acquires inside the loop body before each touch,
+// like the real StageHandoffs. Clean.
+func (d *domainRT) lockPerIteration(others []*domainRT) {
+	for _, o := range others {
+		o.inbox.mu.Lock()
+		o.inbox.entries = o.inbox.entries[:0]
+		o.inbox.mu.Unlock()
+	}
+}
+
+// closureNoLeak: holding the lock while building a closure does not bless
+// the closure's own accesses — it may run long after the unlock.
+func (d *domainRT) closureNoLeak() func() int {
+	d.inbox.mu.Lock()
+	fn := func() int {
+		return len(d.inbox.entries) // want "inbox entries accessed without d.inbox.mu.Lock"
+	}
+	d.inbox.mu.Unlock()
+	return fn
+}
+
+// staleNondeterministic carries an annotation on a line with nothing
+// nondeterministic: the construct it once excused is gone, and the stale
+// excuse must not linger to bless a future unrelated edit.
+func staleNondeterministic() int {
+	sum := 1 + 2 /* want "stale //hydralint:nondeterministic annotation" */ //hydralint:nondeterministic excuses nothing on this line
+	return sum
+}
+
+// staleDomainSafe is the same rot for the domain fence: the annotated line
+// touches no cross-domain state.
+func staleDomainSafe() int {
+	n := 3 /* want "stale //hydralint:domainsafe annotation" */ //hydralint:domainsafe excuses nothing on this line
+	return n
+}
+
+// usedAnnotations stays clean: both directives still govern the construct
+// they excuse.
+func usedAnnotations(m map[string]int) int {
+	total := 0
+	for _, v := range m { //hydralint:nondeterministic commutative sum over window counters
+		total += v
+	}
+	return total
 }

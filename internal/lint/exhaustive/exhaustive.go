@@ -1,0 +1,232 @@
+// Package exhaustive proves at compile time what the obs package's
+// runtime fences (TestKindTableComplete, TestKindMaskBits,
+// invariant.TestKindRoleComplete) only verify at test time: nothing in the
+// tree can silently ignore an event kind. It checks three properties
+// around the obs.Kind enumeration:
+//
+//  1. Every `switch` over obs.Kind either handles all declared kinds or
+//     carries a `default` clause. A selective dispatch without a default
+//     is exactly the code that swallows a newly added kind — the switch
+//     compiles, the new event arrives, and nothing happens.
+//
+//  2. Every keyed array table indexed by kind (the `[numKinds]T{Kind...:
+//     ...}` idiom, e.g. obs.kindNames or invariant's role tables) has an
+//     entry for every declared kind. A missing row is a zero value that
+//     leaks to callers as an empty name or a dropped rule.
+//
+//  3. The declaring package keeps the enumeration within the bus's uint64
+//     subscription mask: at most 64 kinds. Kind 64 would shift out of the
+//     mask and become unsubscribable without any build error.
+//
+// The declared-kind set is the Kind-typed package constants whose names
+// start with "Kind", which excludes the numKinds sentinel by construction.
+// The analyzer keys on the type identity — a named type `Kind` declared in
+// a package named `obs` — so it follows the enum across packages (tcp,
+// invariant, sim) without hard-coding the import path.
+package exhaustive
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"sort"
+	"strconv"
+	"strings"
+
+	"hydranet/internal/lint"
+)
+
+// Analyzer is the exhaustiveness checker for obs.Kind switches and tables.
+var Analyzer = &lint.Analyzer{
+	Name: "exhaustive",
+	Doc:  "switches and keyed tables over obs.Kind must cover every declared kind or opt out with a default clause",
+	Run:  run,
+}
+
+func run(pass *lint.Pass) error {
+	pass.Inspect(func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SwitchStmt:
+			checkSwitch(pass, n)
+		case *ast.CompositeLit:
+			checkTable(pass, n)
+		}
+		return true
+	})
+	checkMaskCapacity(pass)
+	return nil
+}
+
+// kindType reports whether t (after unwrapping aliases) is the obs.Kind
+// enumeration type, returning the named type when it is.
+func kindType(t types.Type) (*types.Named, bool) {
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return nil, false
+	}
+	obj := named.Obj()
+	if obj.Name() != "Kind" || obj.Pkg() == nil || obj.Pkg().Name() != "obs" {
+		return nil, false
+	}
+	return named, true
+}
+
+// declaredKinds returns the enum's declared members — the Kind-typed
+// constants in the declaring package whose names begin with "Kind" —
+// keyed by exact constant value, plus the names in declaration-value
+// order. The numKinds sentinel fails the name-prefix test and stays out.
+func declaredKinds(named *types.Named) (byValue map[string]string, names []string) {
+	byValue = map[string]string{}
+	scope := named.Obj().Pkg().Scope()
+	type decl struct {
+		name string
+		val  int64
+	}
+	var decls []decl
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !strings.HasPrefix(name, "Kind") {
+			continue
+		}
+		if !types.Identical(types.Unalias(c.Type()), named) {
+			continue
+		}
+		byValue[c.Val().ExactString()] = name
+		v, _ := constant.Int64Val(c.Val())
+		decls = append(decls, decl{name, v})
+	}
+	sort.Slice(decls, func(i, j int) bool { return decls[i].val < decls[j].val })
+	for _, d := range decls {
+		names = append(names, d.name)
+	}
+	return byValue, names
+}
+
+// checkSwitch flags a switch over obs.Kind that neither handles every
+// declared kind nor has a default clause.
+func checkSwitch(pass *lint.Pass, sw *ast.SwitchStmt) {
+	if sw.Tag == nil {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[sw.Tag]
+	if !ok {
+		return
+	}
+	named, ok := kindType(tv.Type)
+	if !ok {
+		return
+	}
+	byValue, order := declaredKinds(named)
+	handled := map[string]bool{}
+	for _, stmt := range sw.Body.List {
+		cc, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			return // default clause: the switch opted out of exhaustiveness
+		}
+		for _, e := range cc.List {
+			if v := pass.TypesInfo.Types[e].Value; v != nil {
+				handled[v.ExactString()] = true
+			}
+		}
+	}
+	missing := missingKinds(byValue, order, handled)
+	if len(missing) == 0 {
+		return
+	}
+	pass.Reportf(sw.Switch,
+		"switch on %s is not exhaustive: missing %s; a newly added kind falls through silently — handle the missing kinds or add a default clause",
+		types.TypeString(named, types.RelativeTo(pass.Pkg)), joinKinds(missing))
+}
+
+// checkTable flags a keyed array literal indexed by obs.Kind constants
+// that omits a declared kind: the missing row is a silent zero value.
+func checkTable(pass *lint.Pass, lit *ast.CompositeLit) {
+	tv, ok := pass.TypesInfo.Types[lit]
+	if !ok {
+		return
+	}
+	if _, isArray := types.Unalias(tv.Type).Underlying().(*types.Array); !isArray {
+		return
+	}
+	var named *types.Named
+	handled := map[string]bool{}
+	for _, el := range lit.Elts {
+		kv, ok := el.(*ast.KeyValueExpr)
+		if !ok {
+			return // positional rows: not the keyed-table idiom
+		}
+		ktv, ok := pass.TypesInfo.Types[kv.Key]
+		if !ok || ktv.Value == nil {
+			return
+		}
+		kn, ok := kindType(ktv.Type)
+		if !ok {
+			return // keyed by something other than obs.Kind
+		}
+		named = kn
+		handled[ktv.Value.ExactString()] = true
+	}
+	if named == nil {
+		return
+	}
+	byValue, order := declaredKinds(named)
+	missing := missingKinds(byValue, order, handled)
+	if len(missing) == 0 {
+		return
+	}
+	pass.Reportf(lit.Pos(),
+		"keyed kind table is missing rows for %s: every declared kind needs an entry here, or the zero value leaks as a blank row",
+		joinKinds(missing))
+}
+
+// checkMaskCapacity reports, once, when the package declaring obs.Kind has
+// grown past the 64 kinds a uint64 subscription mask can address.
+func checkMaskCapacity(pass *lint.Pass) {
+	if pass.Pkg.Name() != "obs" {
+		return
+	}
+	obj, ok := pass.Pkg.Scope().Lookup("Kind").(*types.TypeName)
+	if !ok {
+		return
+	}
+	named, ok := kindType(obj.Type())
+	if !ok {
+		return
+	}
+	if _, names := declaredKinds(named); len(names) > 64 {
+		pass.Reportf(obj.Pos(),
+			"%d event kinds exceed the 64-bit subscription mask: Bus.Enabled tests bit 1<<k in a uint64, so kinds past 63 can never be subscribed — widen the mask before adding kinds", len(names))
+	}
+}
+
+// missingKinds returns, in declaration order, the declared kind names with
+// no entry in handled.
+func missingKinds(byValue map[string]string, order []string, handled map[string]bool) []string {
+	covered := map[string]bool{}
+	for v := range handled {
+		if name, ok := byValue[v]; ok {
+			covered[name] = true
+		}
+	}
+	var missing []string
+	for _, name := range order {
+		if !covered[name] {
+			missing = append(missing, name)
+		}
+	}
+	return missing
+}
+
+// joinKinds renders a missing-kind list, eliding past the fourth entry so
+// a nearly empty switch doesn't report all 22 kinds.
+func joinKinds(names []string) string {
+	const max = 4
+	if len(names) <= max {
+		return strings.Join(names, ", ")
+	}
+	return strings.Join(names[:max], ", ") +
+		" and " + strconv.Itoa(len(names)-max) + " more"
+}

@@ -1,0 +1,17 @@
+package exhaustive_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"hydranet/internal/lint/exhaustive"
+	"hydranet/internal/lint/linttest"
+)
+
+func TestKindSwitchesAndTables(t *testing.T) {
+	linttest.Run(t, exhaustive.Analyzer, filepath.Join(linttest.TestData(t), "src", "obs"))
+}
+
+func TestMaskCapacity(t *testing.T) {
+	linttest.Run(t, exhaustive.Analyzer, filepath.Join(linttest.TestData(t), "src", "obsbig"))
+}

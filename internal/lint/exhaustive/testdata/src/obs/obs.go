@@ -1,0 +1,114 @@
+// Package obs is a miniature of the real observation package: a Kind
+// enumeration with a numKinds sentinel and a keyed name table. The
+// analyzer keys on the package name and type name, so this stand-in
+// exercises every check without importing the 22-kind real enum.
+package obs
+
+type Kind uint8
+
+const (
+	KindAlpha Kind = iota
+	KindBeta
+	KindGamma
+	KindDelta
+	KindEpsilon
+	KindZeta
+	numKinds
+)
+
+// kindNames is complete: one row per declared kind.
+var kindNames = [numKinds]string{
+	KindAlpha:   "alpha",
+	KindBeta:    "beta",
+	KindGamma:   "gamma",
+	KindDelta:   "delta",
+	KindEpsilon: "epsilon",
+	KindZeta:    "zeta",
+}
+
+// kindShort omits two rows: their entries are silent empty strings.
+var kindShort = [numKinds]string{ // want "keyed kind table is missing rows for KindEpsilon, KindZeta"
+	KindAlpha: "a",
+	KindBeta:  "b",
+	KindGamma: "g",
+	KindDelta: "d",
+}
+
+// dispatchIncomplete swallows two kinds without admitting it.
+func dispatchIncomplete(k Kind) string {
+	switch k { // want "switch on Kind is not exhaustive: missing KindEpsilon, KindZeta"
+	case KindAlpha:
+		return "a"
+	case KindBeta:
+		return "b"
+	case KindGamma:
+		return "g"
+	case KindDelta:
+		return "d"
+	}
+	return ""
+}
+
+// dispatchSparse misses five kinds; the report elides past the fourth.
+func dispatchSparse(k Kind) bool {
+	switch k { // want "missing KindAlpha, KindBeta, KindGamma, KindDelta and 1 more"
+	case KindZeta:
+		return true
+	}
+	return false
+}
+
+// dispatchComplete handles every kind, grouped cases included: clean.
+func dispatchComplete(k Kind) string {
+	switch k {
+	case KindAlpha, KindBeta:
+		return "early"
+	case KindGamma:
+		return "g"
+	case KindDelta, KindEpsilon:
+		return "late"
+	case KindZeta:
+		return "z"
+	}
+	return ""
+}
+
+// dispatchDefault opts out of exhaustiveness with a default clause: clean.
+func dispatchDefault(k Kind) string {
+	switch k {
+	case KindAlpha:
+		return "a"
+	default:
+		return "other"
+	}
+}
+
+// dispatchUntagged is a boolean selection chain, not a kind dispatch:
+// clean even though the conditions mention kinds.
+func dispatchUntagged(k Kind) string {
+	switch {
+	case k == KindAlpha:
+		return "a"
+	}
+	return ""
+}
+
+// otherSwitch dispatches on a type that is not obs.Kind: clean.
+func otherSwitch(n int) string {
+	switch n {
+	case 1:
+		return "one"
+	}
+	return ""
+}
+
+// positional is an ordinary positional array literal, not the keyed-table
+// idiom: clean.
+var positional = [3]string{"a", "b", "c"}
+
+func use(k Kind) (string, string, bool, string, string, string, [3]string) {
+	return kindNames[k] + kindShort[k], dispatchIncomplete(k), dispatchSparse(k),
+		dispatchComplete(k), dispatchDefault(k) + dispatchUntagged(k), otherSwitch(int(k)), positional
+}
+
+var _ = use

@@ -1,0 +1,77 @@
+// Package obs (the oversized variant) declares more kinds than a uint64
+// subscription mask can address: kind 64 and 65 have no bit.
+package obs
+
+type Kind uint8 // want "66 event kinds exceed the 64-bit subscription mask"
+
+const (
+	KindAlpha Kind = iota
+	KindBeta
+	KindGamma
+	KindDelta
+	KindEpsilon
+	KindZeta
+	KindEta
+	KindTheta
+	KindIota
+	KindKappa
+	KindLambda
+	KindMu
+	KindNu
+	KindXi
+	KindOmicron
+	KindPi
+	KindRho
+	KindSigma
+	KindTau
+	KindUpsilon
+	KindPhi
+	KindChi
+	KindExt00
+	KindExt01
+	KindExt02
+	KindExt03
+	KindExt04
+	KindExt05
+	KindExt06
+	KindExt07
+	KindExt08
+	KindExt09
+	KindExt10
+	KindExt11
+	KindExt12
+	KindExt13
+	KindExt14
+	KindExt15
+	KindExt16
+	KindExt17
+	KindExt18
+	KindExt19
+	KindExt20
+	KindExt21
+	KindExt22
+	KindExt23
+	KindExt24
+	KindExt25
+	KindExt26
+	KindExt27
+	KindExt28
+	KindExt29
+	KindExt30
+	KindExt31
+	KindExt32
+	KindExt33
+	KindExt34
+	KindExt35
+	KindExt36
+	KindExt37
+	KindExt38
+	KindExt39
+	KindExt40
+	KindExt41
+	KindExt42
+	KindExt43
+	numKinds
+)
+
+var _ = numKinds

@@ -30,10 +30,16 @@
 // execution point is the function's end, which a linear scan cannot
 // order.
 //
-// The analysis is intraprocedural. Ownership that crosses a call boundary
-// (a FrameHandler retaining bytes past HandleFrame's return) is governed
-// by the documented convention and the runtime poison tests; the two
-// mechanisms back each other up.
+// Ownership that crosses a same-package call boundary is handled by
+// bottom-up ownership summaries (see summary.go): a helper that releases,
+// transfers, or retains its *frame.Buf parameter propagates those facts
+// to every caller, so a use after `helper(fb)` is flagged exactly like a
+// use after `fb.Release()`, a helper returning `fb.Bytes()` extends the
+// derived-slice tracking through the call, and a Get result whose only
+// consumer is a provably read-only helper is still a pool leak. Ownership
+// crossing a package boundary (a FrameHandler retaining bytes past
+// HandleFrame's return) remains governed by the documented convention and
+// the runtime poison tests; the two mechanisms back each other up.
 package framepool
 
 import (
@@ -65,13 +71,14 @@ var deriveMethods = map[string]bool{
 }
 
 func run(pass *lint.Pass) error {
+	sums := computeSummaries(pass)
 	for _, file := range pass.Files {
 		for _, decl := range file.Decls {
 			fn, ok := decl.(*ast.FuncDecl)
 			if !ok || fn.Body == nil {
 				continue
 			}
-			analyzeFunc(pass, fn)
+			analyzeFunc(pass, fn, sums)
 		}
 	}
 	return nil
@@ -108,6 +115,7 @@ type event struct {
 	selfIdent token.Pos // the variable's own mention inside the call
 	intervals []interval
 	callee    string
+	via       bool // the release/transfer happens inside the callee
 }
 
 type interval struct{ from, to token.Pos }
@@ -120,7 +128,7 @@ type use struct {
 	id  *ast.Ident
 }
 
-func analyzeFunc(pass *lint.Pass, fn *ast.FuncDecl) {
+func analyzeFunc(pass *lint.Pass, fn *ast.FuncDecl, sums *pkgSummaries) {
 	info := pass.TypesInfo
 
 	// Track every local (including params and receiver) of type *frame.Buf.
@@ -177,7 +185,7 @@ func analyzeFunc(pass *lint.Pass, fn *ast.FuncDecl) {
 				}
 			}
 		case *ast.CallExpr:
-			collectCallEvents(pass, fn, n, info, tracked, parents, &events, handoff, deferred)
+			collectCallEvents(pass, fn, n, info, tracked, parents, &events, handoff, deferred, sums)
 		case *ast.ReturnStmt:
 			for _, r := range n.Results {
 				if v := trackedIdentVar(info, tracked, r); v != nil {
@@ -233,17 +241,18 @@ func analyzeFunc(pass *lint.Pass, fn *ast.FuncDecl) {
 		return true
 	})
 
-	derived, derivedResets := deriveSlices(info, fn, tracked)
+	derived, derivedResets := deriveSlices(info, fn, tracked, sums)
 
 	reportOwnership(pass, events, uses, resets, lhsIdents, derived, derivedResets, info)
 	reportLeaks(pass, fromGet, handoff)
-	reportRetainedStores(pass, fn, info, tracked, events, derived)
+	reportRetainedStores(pass, fn, info, tracked, events, derived, sums)
 }
 
-// collectCallEvents records Release and transfer calls on tracked vars.
+// collectCallEvents records Release and transfer calls on tracked vars,
+// plus ownership-ending calls to summarized same-package helpers.
 func collectCallEvents(pass *lint.Pass, fn *ast.FuncDecl, call *ast.CallExpr, info *types.Info,
 	tracked map[*types.Var]bool, parents map[ast.Node]ast.Node,
-	events *[]event, handoff map[*types.Var]bool, deferred map[token.Pos]bool) {
+	events *[]event, handoff map[*types.Var]bool, deferred map[token.Pos]bool, sums *pkgSummaries) {
 
 	// fb.Release()
 	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Release" && len(call.Args) == 0 {
@@ -266,15 +275,24 @@ func collectCallEvents(pass *lint.Pass, fn *ast.FuncDecl, call *ast.CallExpr, in
 		}
 	}
 
-	// Transfer calls: any argument that is a tracked var passed to a
-	// callee in transferFuncs.
+	// Transfer calls and summarized helpers: any argument that is a
+	// tracked var. Named transfer callees (SendFrame) keep their dedicated
+	// semantics; ownership summaries speak for everything else the package
+	// call graph can resolve.
 	name := calleeName(call)
-	for _, arg := range call.Args {
+	var sum *ownSummary
+	if !transferFuncs[name] {
+		sum = sums.forCall(call)
+	}
+	for ai, arg := range call.Args {
 		v := trackedIdentVar(info, tracked, arg)
 		if v == nil {
 			continue
 		}
-		handoff[v] = true // any callee may assume ownership
+		pf := sum.param(ai)
+		if sum == nil || !pf.pure() {
+			handoff[v] = true // the callee may assume ownership
+		}
 		if transferFuncs[name] && !deferred[call.Pos()] {
 			ivs, loopCarried := poisonIntervals(fn, call, parents, v, info)
 			if loopCarried {
@@ -285,6 +303,28 @@ func collectCallEvents(pass *lint.Pass, fn *ast.FuncDecl, call *ast.CallExpr, in
 				selfIdent: identPos(arg),
 				intervals: ivs,
 				callee:    name,
+			})
+			continue
+		}
+		if pf != nil && (pf.releases || pf.transfers) && !deferred[call.Pos()] {
+			ivs, loopCarried := poisonIntervals(fn, call, parents, v, info)
+			kind := evRelease
+			if !pf.releases {
+				kind = evTransfer
+			}
+			if loopCarried {
+				if kind == evRelease {
+					pass.Reportf(call.Pos(), "call to %s releases %s inside a loop that never rebinds it: the next iteration touches a dead frame", name, v.Name())
+				} else {
+					pass.Reportf(call.Pos(), "call to %s transfers %s inside a loop that never rebinds it: the next iteration hands the fabric a frame it already owns", name, v.Name())
+				}
+			}
+			*events = append(*events, event{
+				obj: v, kind: kind, pos: call.Pos(),
+				selfIdent: identPos(arg),
+				intervals: ivs,
+				callee:    name,
+				via:       true,
 			})
 		}
 	}
@@ -322,13 +362,26 @@ func reportOwnership(pass *lint.Pass, events []event, uses []use,
 			}
 			switch classifyUse(u.id, ev, events) {
 			case "double-release":
-				flag(upos, "double Release of %s (first at %s)", u.obj.Name(), pass.Fset.Position(ev.pos))
-			case "release-after-transfer":
-				flag(upos, "Release of %s after ownership transfer to %s at %s: the fabric guarantees the release", u.obj.Name(), ev.callee, pass.Fset.Position(ev.pos))
-			default:
-				if ev.kind == evRelease {
-					flag(upos, "use of %s after Release at %s", u.obj.Name(), pass.Fset.Position(ev.pos))
+				if ev.via {
+					flag(upos, "double Release of %s (released inside call to %s at %s)", u.obj.Name(), ev.callee, pass.Fset.Position(ev.pos))
 				} else {
+					flag(upos, "double Release of %s (first at %s)", u.obj.Name(), pass.Fset.Position(ev.pos))
+				}
+			case "release-after-transfer":
+				if ev.via {
+					flag(upos, "Release of %s after call to %s handed it to the fabric at %s: the fabric guarantees the release", u.obj.Name(), ev.callee, pass.Fset.Position(ev.pos))
+				} else {
+					flag(upos, "Release of %s after ownership transfer to %s at %s: the fabric guarantees the release", u.obj.Name(), ev.callee, pass.Fset.Position(ev.pos))
+				}
+			default:
+				switch {
+				case ev.via && ev.kind == evRelease:
+					flag(upos, "use of %s after call to %s, which releases it, at %s", u.obj.Name(), ev.callee, pass.Fset.Position(ev.pos))
+				case ev.via:
+					flag(upos, "use of %s after call to %s, which hands it to the fabric, at %s", u.obj.Name(), ev.callee, pass.Fset.Position(ev.pos))
+				case ev.kind == evRelease:
+					flag(upos, "use of %s after Release at %s", u.obj.Name(), pass.Fset.Position(ev.pos))
+				default:
 					flag(upos, "use of %s after ownership transfer to %s at %s", u.obj.Name(), ev.callee, pass.Fset.Position(ev.pos))
 				}
 			}
@@ -353,7 +406,12 @@ func reportOwnership(pass *lint.Pass, events []event, uses []use,
 					continue
 				}
 				what := "Release"
-				if ev.kind == evTransfer {
+				switch {
+				case ev.via && ev.kind == evRelease:
+					what = "release inside call to " + ev.callee
+				case ev.via:
+					what = "transfer inside call to " + ev.callee
+				case ev.kind == evTransfer:
 					what = "ownership transfer to " + ev.callee
 				}
 				flag(upos, "slice %s derived from frame %s used after its %s at %s; copy (or privatize) before giving the frame away",
@@ -395,7 +453,7 @@ func reportLeaks(pass *lint.Pass, fromGet map[*types.Var]*ast.CallExpr, handoff 
 // reportRetainedStores flags derived slices stored into longer-lived
 // places when the function also gives the frame away.
 func reportRetainedStores(pass *lint.Pass, fn *ast.FuncDecl, info *types.Info,
-	tracked map[*types.Var]bool, events []event, derived map[*types.Var]*types.Var) {
+	tracked map[*types.Var]bool, events []event, derived map[*types.Var]*types.Var, sums *pkgSummaries) {
 
 	gone := map[*types.Var]bool{}
 	for i := range events {
@@ -413,7 +471,7 @@ func reportRetainedStores(pass *lint.Pass, fn *ast.FuncDecl, info *types.Info,
 			if _, isIdent := ast.Unparen(lhs).(*ast.Ident); isIdent {
 				continue // local rebinds handled by the positional analysis
 			}
-			bv := derivedSource(info, tracked, derived, as.Rhs[i])
+			bv := derivedSource(info, tracked, derived, sums, as.Rhs[i])
 			if bv == nil || !gone[bv] {
 				continue
 			}
@@ -428,7 +486,7 @@ func reportRetainedStores(pass *lint.Pass, fn *ast.FuncDecl, info *types.Info,
 // deriveSlices maps slice variables to the Buf they alias, by fixpoint
 // over assignments, plus reset positions (assignments from non-derived
 // sources, e.g. a privatizing copy).
-func deriveSlices(info *types.Info, fn *ast.FuncDecl, tracked map[*types.Var]bool) (map[*types.Var]*types.Var, map[*types.Var][]token.Pos) {
+func deriveSlices(info *types.Info, fn *ast.FuncDecl, tracked map[*types.Var]bool, sums *pkgSummaries) (map[*types.Var]*types.Var, map[*types.Var][]token.Pos) {
 	derived := map[*types.Var]*types.Var{}
 	resets := map[*types.Var][]token.Pos{}
 	for {
@@ -452,7 +510,7 @@ func deriveSlices(info *types.Info, fn *ast.FuncDecl, tracked map[*types.Var]boo
 				if v == nil || tracked[v] {
 					continue
 				}
-				if src := derivedSource(info, tracked, derived, as.Rhs[i]); src != nil {
+				if src := derivedSource(info, tracked, derived, sums, as.Rhs[i]); src != nil {
 					if derived[v] != src {
 						derived[v] = src
 						changed = true
@@ -475,8 +533,10 @@ func deriveSlices(info *types.Info, fn *ast.FuncDecl, tracked map[*types.Var]boo
 	return derived, resets
 }
 
-// derivedSource resolves expr to the tracked Buf it aliases, or nil.
-func derivedSource(info *types.Info, tracked map[*types.Var]bool, derived map[*types.Var]*types.Var, expr ast.Expr) *types.Var {
+// derivedSource resolves expr to the tracked Buf it aliases, or nil. A
+// call to a summarized helper whose result aliases a parameter's bytes
+// (returns-derived-slice) resolves through the call to the argument.
+func derivedSource(info *types.Info, tracked map[*types.Var]bool, derived map[*types.Var]*types.Var, sums *pkgSummaries, expr ast.Expr) *types.Var {
 	switch e := ast.Unparen(expr).(type) {
 	case *ast.Ident:
 		if v, ok := info.Uses[e].(*types.Var); ok {
@@ -485,11 +545,20 @@ func derivedSource(info *types.Info, tracked map[*types.Var]bool, derived map[*t
 			}
 		}
 	case *ast.SliceExpr:
-		return derivedSource(info, tracked, derived, e.X)
+		return derivedSource(info, tracked, derived, sums, e.X)
 	case *ast.CallExpr:
 		if sel, ok := ast.Unparen(e.Fun).(*ast.SelectorExpr); ok && deriveMethods[sel.Sel.Name] {
 			if v := trackedIdentVar(info, tracked, sel.X); v != nil {
 				return v
+			}
+		}
+		if cs := sums.forCall(e); cs != nil {
+			for _, j := range cs.derivedResultParams(0) {
+				if j < len(e.Args) {
+					if v := trackedIdentVar(info, tracked, e.Args[j]); v != nil {
+						return v
+					}
+				}
 			}
 		}
 	}

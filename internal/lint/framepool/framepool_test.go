@@ -11,3 +11,7 @@ import (
 func TestOwnership(t *testing.T) {
 	linttest.Run(t, framepool.Analyzer, filepath.Join(linttest.TestData(t), "src", "pool_a"))
 }
+
+func TestInterprocedural(t *testing.T) {
+	linttest.Run(t, framepool.Analyzer, filepath.Join(linttest.TestData(t), "src", "pool_b"))
+}

@@ -1,0 +1,143 @@
+// Package pool_b exercises the interprocedural ownership summaries: every
+// violation here crosses a same-package call boundary, so the purely
+// intraprocedural analysis of pool_a would miss all of them. The clean
+// patterns at the bottom prove the summaries do not over-poison the
+// sanctioned helper idioms.
+package pool_b
+
+import "hydranet/internal/frame"
+
+var pool *frame.Pool
+
+// releaseHelper unconditionally releases its argument: its summary says
+// param 0 may-release.
+func releaseHelper(fb *frame.Buf) {
+	fb.Release()
+}
+
+// maybeRelease releases on only one path; may-release still poisons every
+// caller's continuation.
+func maybeRelease(fb *frame.Buf, ok bool) {
+	if !ok {
+		fb.Release()
+	}
+}
+
+// chainRelease reaches Release two call levels down; the bottom-up pass
+// composes summaries transitively.
+func chainRelease(fb *frame.Buf) {
+	releaseHelper(fb)
+}
+
+// aliasRelease releases through a local alias of the parameter.
+func aliasRelease(fb *frame.Buf) {
+	g := fb
+	g.Release()
+}
+
+// readOnly provably only reads its argument: pure, so passing a frame to
+// it is not a hand-off.
+func readOnly(fb *frame.Buf) int {
+	return len(fb.Bytes())
+}
+
+// headerOf returns a slice aliasing the frame's backing array:
+// returns-derived-slice.
+func headerOf(fb *frame.Buf) []byte {
+	return fb.Bytes()
+}
+
+// --- seeded interprocedural violations ---
+
+// useAfterCalleeRelease: the Release happens inside the callee; the use
+// after the call reads a recycled frame.
+func useAfterCalleeRelease() {
+	fb := pool.Get(64)
+	releaseHelper(fb)
+	_ = fb.Bytes() // want "use of fb after call to releaseHelper, which releases it"
+}
+
+// useAfterConditionalCalleeRelease: a conditional Release in the callee
+// poisons the caller just the same — some schedule frees the frame.
+func useAfterConditionalCalleeRelease(ok bool) {
+	fb := pool.Get(64)
+	maybeRelease(fb, ok)
+	_ = fb.Bytes() // want "use of fb after call to maybeRelease, which releases it"
+}
+
+// useAfterChainedRelease: the Release is two calls down.
+func useAfterChainedRelease() {
+	fb := pool.Get(64)
+	chainRelease(fb)
+	_ = fb.Bytes() // want "use of fb after call to chainRelease, which releases it"
+}
+
+// useAfterAliasedCalleeRelease: the callee released through an alias.
+func useAfterAliasedCalleeRelease() {
+	fb := pool.Get(64)
+	aliasRelease(fb)
+	_ = fb.Bytes() // want "use of fb after call to aliasRelease, which releases it"
+}
+
+// doubleReleaseViaHelper: the helper already released the frame.
+func doubleReleaseViaHelper() {
+	fb := pool.Get(64)
+	releaseHelper(fb)
+	fb.Release() // want "double Release of fb .released inside call to releaseHelper"
+}
+
+// derivedFromCalleeResult: the callee's return value aliases the frame's
+// bytes, so using it after the Release reads recycled memory.
+func derivedFromCalleeResult() byte {
+	fb := pool.Get(64)
+	hdr := headerOf(fb)
+	fb.Release()
+	return hdr[0] // want "slice hdr derived from frame fb used after its Release"
+}
+
+// leakThroughPureHelper: readOnly cannot take ownership, so nothing ever
+// releases this frame.
+func leakThroughPureHelper() int {
+	fb := pool.Get(64) // want "fb obtained from Get is never released or handed off"
+	return readOnly(fb)
+}
+
+// --- sanctioned helper idioms (clean) ---
+
+// releaseViaHelper delegates the release and never touches the frame
+// again.
+func releaseViaHelper() {
+	fb := pool.Get(64)
+	fb.Prepend(2)
+	releaseHelper(fb)
+}
+
+// guardViaHelper mirrors the fabric's early-return guard, with the
+// release behind a helper: the poison stays inside the guard block.
+func guardViaHelper(alive bool) {
+	fb := pool.Get(64)
+	if !alive {
+		releaseHelper(fb)
+		return
+	}
+	_ = fb.Bytes()
+	releaseHelper(fb)
+}
+
+// privatizeBeforeCalleeRelease copies the derived bytes before the helper
+// releases the frame.
+func privatizeBeforeCalleeRelease() []byte {
+	fb := pool.Get(64)
+	private := append([]byte(nil), headerOf(fb)...)
+	releaseHelper(fb)
+	return private
+}
+
+// inspectThenRelease keeps ownership across a pure helper and releases
+// directly afterward.
+func inspectThenRelease() int {
+	fb := pool.Get(64)
+	n := readOnly(fb)
+	fb.Release()
+	return n
+}

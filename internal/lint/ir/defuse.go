@@ -1,0 +1,189 @@
+package ir
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// DefUse holds the reaching-definitions solution for one function: for
+// every identifier that reads a local variable, the set of assignments
+// (by position) that may have produced the value it observes. Parameters
+// and receivers are defined at function entry with position token.NoPos.
+type DefUse struct {
+	// Reaching maps each reading identifier to the positions of the
+	// definitions that reach it.
+	Reaching map[*ast.Ident][]token.Pos
+}
+
+// defSet is the dataflow fact: for each variable, the positions of the
+// definitions live at this point.
+type defSet map[*types.Var]map[token.Pos]bool
+
+func cloneDefSet(f defSet) defSet {
+	out := make(defSet, len(f))
+	for v, ps := range f {
+		cp := make(map[token.Pos]bool, len(ps))
+		for p := range ps {
+			cp[p] = true
+		}
+		out[v] = cp
+	}
+	return out
+}
+
+// BuildDefUse solves reaching definitions over the CFG (a forward may
+// analysis: join is union) and chains each use to its reaching defs.
+func BuildDefUse(cfg *CFG, fn *ast.FuncDecl, info *types.Info) *DefUse {
+	entry := defSet{}
+	if fn != nil {
+		declare := func(fl *ast.FieldList) {
+			if fl == nil {
+				return
+			}
+			for _, f := range fl.List {
+				for _, name := range f.Names {
+					if v, ok := info.Defs[name].(*types.Var); ok {
+						entry[v] = map[token.Pos]bool{token.NoPos: true}
+					}
+				}
+			}
+		}
+		if fn.Recv != nil {
+			declare(fn.Recv)
+		}
+		if fn.Type != nil {
+			declare(fn.Type.Params)
+			declare(fn.Type.Results)
+		}
+	}
+
+	p := Problem[defSet]{
+		Lattice: Lattice[defSet]{
+			Join: func(a, b defSet) defSet {
+				out := cloneDefSet(a)
+				for v, ps := range b {
+					if out[v] == nil {
+						out[v] = map[token.Pos]bool{}
+					}
+					for pos := range ps {
+						out[v][pos] = true
+					}
+				}
+				return out
+			},
+			Equal: func(a, b defSet) bool {
+				if len(a) != len(b) {
+					return false
+				}
+				for v, ps := range a {
+					qs, ok := b[v]
+					if !ok || len(ps) != len(qs) {
+						return false
+					}
+					for pos := range ps {
+						if !qs[pos] {
+							return false
+						}
+					}
+				}
+				return true
+			},
+			Clone: cloneDefSet,
+		},
+		Boundary: entry,
+		Transfer: func(elem ast.Node, f defSet) defSet {
+			forEachDef(elem, info, func(v *types.Var, pos token.Pos) {
+				f[v] = map[token.Pos]bool{pos: true} // kill, then gen
+			})
+			return f
+		},
+	}
+	in, _ := Forward(cfg, p)
+
+	du := &DefUse{Reaching: map[*ast.Ident][]token.Pos{}}
+	for _, b := range cfg.Blocks {
+		fact, ok := in[b]
+		if !ok {
+			continue // unreachable
+		}
+		fact = cloneDefSet(fact)
+		for _, e := range b.Elems {
+			// Reads in this element observe the defs live before it.
+			Inspect(e, func(n ast.Node) bool {
+				id, ok := n.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				v, ok := info.Uses[id].(*types.Var)
+				if !ok || isDefIdent(e, id, info) {
+					return true
+				}
+				if ps, tracked := fact[v]; tracked {
+					for pos := range ps {
+						du.Reaching[id] = append(du.Reaching[id], pos)
+					}
+				}
+				return true
+			})
+			forEachDef(e, info, func(v *types.Var, pos token.Pos) {
+				fact[v] = map[token.Pos]bool{pos: true}
+			})
+		}
+	}
+	return du
+}
+
+// forEachDef reports each variable (re)defined by a leaf element: plain
+// assignments and short declarations to identifier targets, var specs,
+// inc/dec, and range key/value bindings.
+func forEachDef(elem ast.Node, info *types.Info, emit func(v *types.Var, pos token.Pos)) {
+	visit := func(e ast.Expr) {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		if !ok {
+			return
+		}
+		if v, ok := info.Defs[id].(*types.Var); ok {
+			emit(v, id.Pos())
+		} else if v, ok := info.Uses[id].(*types.Var); ok {
+			emit(v, id.Pos())
+		}
+	}
+	switch n := elem.(type) {
+	case *ast.AssignStmt:
+		for _, lhs := range n.Lhs {
+			visit(lhs)
+		}
+	case *ast.IncDecStmt:
+		visit(n.X)
+	case *ast.DeclStmt:
+		if gd, ok := n.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, name := range vs.Names {
+						visit(name)
+					}
+				}
+			}
+		}
+	case *ast.RangeStmt:
+		if n.Key != nil {
+			visit(n.Key)
+		}
+		if n.Value != nil {
+			visit(n.Value)
+		}
+	}
+}
+
+// isDefIdent reports whether id is (one of) the definition target(s) of
+// elem rather than a read.
+func isDefIdent(elem ast.Node, id *ast.Ident, info *types.Info) bool {
+	found := false
+	forEachDef(elem, info, func(v *types.Var, pos token.Pos) {
+		if pos == id.Pos() {
+			found = true
+		}
+	})
+	return found
+}

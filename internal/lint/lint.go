@@ -226,6 +226,19 @@ func (idx *DirectiveIndex) Covering(fset *token.FileSet, pos token.Pos, name str
 	return nil
 }
 
+// WellFormed returns every directive in the file that parsed cleanly, in
+// source order. Analyzers use it to audit annotations: a well-formed
+// directive that never suppresses a diagnostic is stale.
+func (idx *DirectiveIndex) WellFormed() []*Directive {
+	var out []*Directive
+	for i := range idx.all {
+		if idx.all[i].Malformed == "" {
+			out = append(out, &idx.all[i])
+		}
+	}
+	return out
+}
+
 // Malformed returns every directive in the file that failed to parse.
 func (idx *DirectiveIndex) Malformed() []Directive {
 	var out []Directive

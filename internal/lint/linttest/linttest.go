@@ -46,10 +46,19 @@ type expectation struct {
 	matched bool
 }
 
+// TB is the subset of testing.TB the harness consumes. Production tests
+// pass *testing.T; the harness's own tests substitute a recorder to prove
+// that stale expectations and unexpected diagnostics actually fail.
+type TB interface {
+	Helper()
+	Errorf(format string, args ...any)
+	Fatalf(format string, args ...any)
+}
+
 // Run loads the package rooted at dir (an absolute directory containing
 // one testdata package), applies the analyzer, and compares diagnostics
 // against the package's want comments.
-func Run(t *testing.T, a *lint.Analyzer, dir string) {
+func Run(t TB, a *lint.Analyzer, dir string) {
 	t.Helper()
 	pkgs, err := load.Packages(dir, ".")
 	if err != nil {
@@ -99,7 +108,7 @@ func claim(wants []*expectation, d lint.Diagnostic) bool {
 var wantRE = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
 
 // collectWants parses every `// want "re" ...` comment in the package.
-func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) []*expectation {
+func collectWants(t TB, fset *token.FileSet, files []*ast.File) []*expectation {
 	t.Helper()
 	var out []*expectation
 	for _, f := range files {

@@ -1,0 +1,97 @@
+package linttest_test
+
+import (
+	"fmt"
+	"go/ast"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"hydranet/internal/lint"
+	"hydranet/internal/lint/linttest"
+)
+
+// callsite reports two diagnostics at every call expression — enough
+// surface to exercise multiple wants per line and build-tag filtering
+// without dragging in a real analyzer.
+var callsite = &lint.Analyzer{
+	Name: "callsite",
+	Doc:  "test analyzer: reports alpha and beta at every call",
+	Run: func(pass *lint.Pass) error {
+		pass.Inspect(func(n ast.Node) bool {
+			if c, ok := n.(*ast.CallExpr); ok {
+				pass.Reportf(c.Pos(), "alpha finding at call")
+				pass.Reportf(c.Pos(), "beta finding at call")
+			}
+			return true
+		})
+		return nil
+	},
+}
+
+// recorder satisfies linttest.TB, capturing failures instead of failing.
+type recorder struct {
+	errors []string
+}
+
+func (r *recorder) Helper() {}
+func (r *recorder) Errorf(format string, args ...any) {
+	r.errors = append(r.errors, fmt.Sprintf(format, args...))
+}
+func (r *recorder) Fatalf(format string, args ...any) {
+	panic("linttest fatal: " + fmt.Sprintf(format, args...))
+}
+
+// TestMultipleWantsPerLine: one line carries two want patterns and the
+// analyzer emits two diagnostics there; each want claims exactly one.
+func TestMultipleWantsPerLine(t *testing.T) {
+	linttest.Run(t, callsite, filepath.Join(linttest.TestData(t), "src", "multi"))
+}
+
+// TestUnmatchedWantFails: a want pattern that no diagnostic satisfies must
+// fail the run — otherwise a renamed message silently retires the seeded
+// violation it was pinning.
+func TestUnmatchedWantFails(t *testing.T) {
+	rec := &recorder{}
+	linttest.Run(rec, callsite, filepath.Join(linttest.TestData(t), "src", "unmatched"))
+	if len(rec.errors) == 0 {
+		t.Fatal("run with an unsatisfiable want reported no failure")
+	}
+	found := false
+	for _, e := range rec.errors {
+		if strings.Contains(e, "expected diagnostic matching") && strings.Contains(e, "never reported") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("failure does not name the stale want: %q", rec.errors)
+	}
+}
+
+// TestUnexpectedDiagnosticFails: the inverse vacuity check — a diagnostic
+// with no want on its line must also fail. The multi package under an
+// analyzer that reports a third, unannotated message demonstrates it.
+func TestUnexpectedDiagnosticFails(t *testing.T) {
+	noisy := &lint.Analyzer{
+		Name: "noisy",
+		Doc:  "test analyzer: reports an unannotated diagnostic",
+		Run: func(pass *lint.Pass) error {
+			pass.Reportf(pass.Files[0].Name.Pos(), "surprise diagnostic")
+			return nil
+		},
+	}
+	rec := &recorder{}
+	linttest.Run(rec, noisy, filepath.Join(linttest.TestData(t), "src", "unmatched"))
+	if len(rec.errors) == 0 {
+		t.Fatal("unexpected diagnostic reported no failure")
+	}
+	if !strings.Contains(rec.errors[0], "unexpected diagnostic") {
+		t.Fatalf("failure does not flag the unexpected diagnostic: %q", rec.errors)
+	}
+}
+
+// TestBuildTagFiles: the satisfied-constraint file is analyzed (its wants
+// match) while the excluded file's unannotated call never surfaces.
+func TestBuildTagFiles(t *testing.T) {
+	linttest.Run(t, callsite, filepath.Join(linttest.TestData(t), "src", "tagged"))
+}

@@ -1,0 +1,10 @@
+// Package multi carries two expectations on one line: the callsite test
+// analyzer reports twice per call, and both wants must claim exactly one
+// diagnostic each.
+package multi
+
+func f() {}
+
+func g() {
+	f() // want "alpha finding" "beta finding"
+}

@@ -1,0 +1,10 @@
+//go:build hydralint_excluded
+
+package tagged
+
+func h() {}
+
+func k() {
+	h() // no want: this file is excluded by its build tag, so the
+	// analyzer must never see this call
+}

@@ -1,0 +1,13 @@
+//go:build !hydralint_excluded
+
+// Package tagged proves the harness honors build constraints: this file's
+// constraint is satisfied, so its diagnostics and wants are live, while
+// excluded.go is dropped by the loader and its unannotated call must not
+// surface as an unexpected diagnostic.
+package tagged
+
+func f() {}
+
+func g() {
+	f() // want "alpha finding" "beta finding"
+}

@@ -1,0 +1,8 @@
+// Package unmatched seeds a want comment that no analyzer will ever
+// satisfy: the harness must fail, or vacuous expectations would rot
+// silently in every analyzer's testdata.
+package unmatched
+
+var x = 1 // want "never reported"
+
+var _ = x

@@ -1,0 +1,13 @@
+package lockorder_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"hydranet/internal/lint/linttest"
+	"hydranet/internal/lint/lockorder"
+)
+
+func TestParcore(t *testing.T) {
+	linttest.Run(t, lockorder.Analyzer, filepath.Join(linttest.TestData(t), "src", "parcore"))
+}

@@ -115,8 +115,6 @@ func (d *domainRT) getArrival() *pendingArrival {
 // delay — a zero-delay link provides no lookahead and must stay internal.
 // With no cross-domain links at all the domains are fully independent and
 // the returned lookahead is sim.KeyMax (callers cap their window size).
-//
-//hydralint:domainsafe partitioning runs before any window executes
 func (n *Network) SetDomains(assign []int, scheds []*sim.Scheduler) (time.Duration, error) {
 	if n.doms != nil {
 		return 0, fmt.Errorf("netsim: network already partitioned")
